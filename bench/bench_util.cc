@@ -1,0 +1,94 @@
+#include "bench_util.hh"
+
+#include <cmath>
+
+namespace canon
+{
+namespace bench
+{
+
+namespace
+{
+
+/** Geometric-mean aggregate of a PolyBench group on Canon and CGRA. */
+WorkloadCase
+polyGroupCase(PolyGroup group, const ArchSuite &suite)
+{
+    const CanonConfig cfg = CanonConfig::paper();
+    double log_canon = 0.0, log_cgra = 0.0;
+    int count = 0;
+    ExecutionProfile canon_sum, cgra_sum;
+    canon_sum.arch = "canon";
+    cgra_sum.arch = "cgra";
+    for (const auto &k : polybenchSuite()) {
+        if (k.group != group)
+            continue;
+        const auto c = canonPolybench(k, cfg);
+        const auto g = cgraPolybench(k, suite.cgra());
+        log_canon += std::log(static_cast<double>(c.cycles));
+        log_cgra += std::log(static_cast<double>(g.cycles));
+        canon_sum.accumulate(c);
+        cgra_sum.accumulate(g);
+        ++count;
+    }
+    // Scale the accumulated activity so the cycle totals equal the
+    // geomean (keeps energy ratios representative of the group).
+    const double canon_geo = std::exp(log_canon / count);
+    const double cgra_geo = std::exp(log_cgra / count);
+    canon_sum.scale(canon_geo / static_cast<double>(canon_sum.cycles));
+    cgra_sum.scale(cgra_geo / static_cast<double>(cgra_sum.cycles));
+    canon_sum.peCount = cfg.numPes();
+    cgra_sum.peCount = suite.cgra().config().numPes();
+
+    WorkloadCase wc;
+    wc.label = polyGroupName(group);
+    wc.results["canon"] = canon_sum;
+    wc.results["cgra"] = cgra_sum;
+    return wc;
+}
+
+} // namespace
+
+std::vector<WorkloadCase>
+buildFigure12Cases(const ArchSuite &suite)
+{
+    std::vector<WorkloadCase> cases;
+
+    // Shapes follow the paper's layer regime: K in the thousands
+    // (hidden dimensions), so per-row-slice non-zero populations are
+    // realistic.
+    cases.push_back({"GEMM", suite.gemm(256, 512, 256, 101)});
+
+    // Unstructured sparsity ranges: S1 0-30%, S2 30-60%, S3 60-95%.
+    // S3 additionally carries the skewed row populations of real
+    // activation tensors (Section 6.2).
+    cases.push_back(
+        {"SpMM-S1", suite.spmm(512, 1024, 256, 0.15, 102)});
+    cases.push_back(
+        {"SpMM-S2", suite.spmm(512, 1024, 256, 0.45, 103)});
+    cases.push_back(
+        {"SpMM-S3", suite.spmmBimodal(512, 1024, 256, 0.65, 0.95,
+                                      104)});
+
+    cases.push_back(
+        {"SpMM-2:4", suite.spmmNm(512, 1024, 256, 2, 4, 105)});
+    cases.push_back(
+        {"SpMM-2:8", suite.spmmNm(512, 1024, 256, 2, 8, 106)});
+
+    cases.push_back(
+        {"SDDMM", suite.sddmm(512, 32, 512, 0.70, 107)});
+    // Win1: Longformer on BERT (window 512, seq 4K, head dim 64).
+    cases.push_back(
+        {"SDDMM-Win1", suite.sddmmWindow(4096, 64, 512, 108)});
+    // Win2: Mistral-7B (window 4K, context 16K, head dim 128).
+    cases.push_back(
+        {"SDDMM-Win2", suite.sddmmWindow(16384, 128, 4096, 109)});
+
+    cases.push_back(polyGroupCase(PolyGroup::Blas, suite));
+    cases.push_back(polyGroupCase(PolyGroup::Kernel, suite));
+    cases.push_back(polyGroupCase(PolyGroup::Stencil, suite));
+    return cases;
+}
+
+} // namespace bench
+} // namespace canon

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * PolyBench explorer: maps every kernel of the evaluated PolyBench
+ * suite onto both general-purpose fabrics -- the CGRA through its
+ * modulo-scheduling mapper, Canon through its row-SIMD loop model --
+ * and prints the per-kernel comparison behind the PolyB-* columns of
+ * Figure 12.
+ *
+ * Things to look for (Section 6.2): the CGRA wins the low-DLP
+ * solvers (trisolv, durbin) where fine-grained reconfiguration
+ * pipelines a dependence chain; Canon wins everything with enough
+ * data parallelism to feed its 4-wide lanes.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "workloads/polybench.hh"
+
+using namespace canon;
+
+int
+main()
+{
+    const auto cfg = CanonConfig::paper();
+    CgraModel cgra;
+
+    Table t("PolyBench on Canon vs CGRA");
+    t.header({"Kernel", "Group", "DFG nodes", "DLP", "recMII",
+              "CGRA II", "CGRA cycles", "Canon cycles", "Winner"});
+
+    int canon_wins = 0, cgra_wins = 0;
+    for (const auto &k : polybenchSuite()) {
+        const auto mapping = cgra.mapper().map(k.body, k.recMii);
+        const auto c = canonPolybench(k, cfg);
+        const auto g = cgraPolybench(k, cgra);
+        const bool canon_faster = c.cycles < g.cycles;
+        (canon_faster ? canon_wins : cgra_wins)++;
+        t.addRow({k.name, polyGroupName(k.group),
+                  std::to_string(k.body.size()),
+                  std::to_string(k.dlp), std::to_string(k.recMii),
+                  std::to_string(mapping.ii),
+                  Table::fmtInt(g.cycles), Table::fmtInt(c.cycles),
+                  canon_faster ? "Canon" : "CGRA"});
+    }
+    t.print();
+    std::cout << "\nCanon wins " << canon_wins << " kernels, CGRA wins "
+              << cgra_wins
+              << " (CGRA's wins concentrate in the low-DLP "
+                 "solvers).\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Spatial execution mode demo (Appendix D / Figure 22).
+ *
+ * Canon can fall back to a fully static, place-and-route style
+ * mapping: the orchestrator streams per-column instructions through
+ * the instruction NoC during a configuration phase (~3 cycles per
+ * column), the pipelines freeze, and every PE then re-executes its
+ * held instruction -- a classic CGRA. Here we configure one PE row as
+ * a 4-tap FIR-like pipeline: column c computes
+ *
+ *     psum_out = psum_in + coeff[c] * sample[c]
+ *
+ * with coefficients in the scratchpads and samples in data memory,
+ * while another row is configured as a plain forwarding bucket
+ * brigade -- distinct per-PE programs, which the time-lapsed SIMD
+ * mode cannot express.
+ */
+
+#include <iostream>
+
+#include "core/fabric.hh"
+
+using namespace canon;
+
+namespace as = canon::addrspace;
+
+int
+main()
+{
+    CanonConfig cfg;
+    cfg.rows = 2;
+    cfg.cols = 4;
+    CanonFabric fabric(cfg);
+
+    // Row 0: MAC pipeline; row 1: forwarding brigade.
+    std::vector<std::vector<Instruction>> program(2);
+    for (int c = 0; c < cfg.cols; ++c) {
+        Instruction mac;
+        mac.op = OpCode::VvMacW;
+        mac.op1 = as::spad(0); // coefficient
+        mac.op2 = as::dmem(0); // sample
+        mac.res = as::portOut(Dir::East);
+        program[0].push_back(mac);
+
+        Instruction mov;
+        mov.op = OpCode::VMov;
+        mov.op1 = as::portIn(Dir::West);
+        mov.res = as::portOut(Dir::East);
+        program[1].push_back(mov);
+    }
+
+    const auto config_cycles = fabric.configureSpatial(program);
+    std::cout << "configuration took " << config_cycles
+              << " cycles (~3 per column, Figure 22)\n";
+
+    // Coefficients 1..4, samples all 2: each traversal accumulates
+    // sum(c+1)*2 = 20 onto the west seed.
+    for (int c = 0; c < cfg.cols; ++c) {
+        fabric.pe(0, c).spad().poke(0, Vec4::splat(c + 1));
+        fabric.pe(0, c).dmem().poke(0, Vec4::splat(2));
+    }
+
+    for (int v = 0; v < 4; ++v) {
+        fabric.pushWest(0, Vec4::splat(v * 100));
+        fabric.pushWest(1, Vec4::splat(v + 1));
+    }
+
+    std::cout << "row 0 (MAC pipeline) and row 1 (brigade) outputs:\n";
+    int got0 = 0, got1 = 0;
+    for (int t = 0; t < 80 && (got0 < 4 || got1 < 4); ++t) {
+        fabric.step();
+        if (auto v = fabric.popEast(0)) {
+            std::cout << "  cycle " << fabric.cycles()
+                      << "  row0 -> " << (*v)[0] << " (expected "
+                      << got0 * 100 + 20 << ")\n";
+            ++got0;
+        }
+        if (auto v = fabric.popEast(1)) {
+            std::cout << "  cycle " << fabric.cycles()
+                      << "  row1 -> " << (*v)[0] << "\n";
+            ++got1;
+        }
+    }
+    return got0 == 4 && got1 == 4 ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * HyCUBE-like CGRA baseline model (Section 5).
+ *
+ * Two operating regimes, as in the paper's evaluation:
+ *  - tensor kernels: the CGRA "must emulate the systolic dataflow for
+ *    tensor operations since it has no dynamic mechanism to exploit
+ *    sparsity" (Section 6.2) -- timing follows the systolic model,
+ *    with CGRA-specific activity (per-PE instruction memory fetches,
+ *    reconfigurable routing) layered on top;
+ *  - general loop kernels (PolyBench): the modulo-scheduling mapper
+ *    produces an II for the loop body, optionally unrolled across
+ *    spare PEs up to the kernel's data-parallelism.
+ */
+
+#ifndef CANON_BASELINES_CGRA_HH
+#define CANON_BASELINES_CGRA_HH
+
+#include "baselines/cgra_mapper.hh"
+#include "baselines/systolic.hh"
+
+namespace canon
+{
+
+/** Replicate @p dfg @p copies times (independent loop unrolling). */
+Dfg replicateDfg(const Dfg &dfg, int copies);
+
+class CgraModel
+{
+  public:
+    explicit CgraModel(const CgraConfig &cfg = {});
+
+    /** Dense GEMM via systolic-dataflow emulation. */
+    ExecutionProfile gemm(std::int64_t m, std::int64_t k,
+                          std::int64_t n) const;
+
+    /** Sparse inputs execute densified, as on the systolic array. */
+    ExecutionProfile spmm(std::int64_t m, std::int64_t k,
+                          std::int64_t n, double sparsity) const;
+
+    ExecutionProfile sddmm(std::int64_t m, std::int64_t k,
+                           std::int64_t n, double mask_sparsity) const;
+
+    ExecutionProfile sddmmWindow(std::int64_t seq, std::int64_t k,
+                                 std::int64_t window) const;
+
+    /**
+     * A general loop nest: @p iters iterations of @p body, with
+     * loop-carried recurrence @p rec_mii and at most @p max_unroll
+     * independent iterations in flight (the kernel's DLP).
+     */
+    ExecutionProfile loopKernel(const Dfg &body, std::int64_t iters,
+                                int rec_mii, int max_unroll,
+                                const std::string &workload) const;
+
+    const CgraConfig &config() const { return cfg_; }
+    const CgraMapper &mapper() const { return mapper_; }
+
+  private:
+    /** Add CGRA overheads to a systolic-emulation profile. */
+    ExecutionProfile emulate(ExecutionProfile p) const;
+
+    CgraConfig cfg_;
+    CgraMapper mapper_;
+    SystolicModel systolic_;
+};
+
+} // namespace canon
+
+#endif // CANON_BASELINES_CGRA_HH

@@ -1,0 +1,128 @@
+#include "baselines/cgra_mapper.hh"
+
+#include <algorithm>
+
+#include "common/bitfield.hh"
+
+namespace canon
+{
+
+namespace
+{
+
+int
+manhattan(int pe_a, int pe_b, int cols)
+{
+    const int ra = pe_a / cols, ca = pe_a % cols;
+    const int rb = pe_b / cols, cb = pe_b % cols;
+    return std::abs(ra - rb) + std::abs(ca - cb);
+}
+
+} // namespace
+
+bool
+CgraMapper::tryMap(const Dfg &dfg, int ii, CgraMapping &out) const
+{
+    const int pes = cfg_.numPes();
+    // busy[pe][slot]: PE occupied at time mod ii.
+    std::vector<std::vector<bool>> busy(
+        static_cast<std::size_t>(pes),
+        std::vector<bool>(static_cast<std::size_t>(ii), false));
+
+    out.peOf.assign(static_cast<std::size_t>(dfg.size()), -1);
+    out.timeOf.assign(static_cast<std::size_t>(dfg.size()), 0);
+    out.routeHops = 0;
+
+    for (int v : dfg.topoOrder()) {
+        int best_pe = -1;
+        int best_time = 0;
+        long best_cost = -1;
+
+        for (int pe = 0; pe < pes; ++pe) {
+            // Earliest start honoring all placed predecessors with
+            // routing delay from their PEs.
+            int ready = 0;
+            long hops = 0;
+            for (int p : dfg.preds(v)) {
+                const int ppe = out.peOf[static_cast<std::size_t>(p)];
+                const int dist = manhattan(ppe, pe, cfg_.cols);
+                const int route = static_cast<int>(divCeil(
+                    static_cast<std::uint64_t>(dist),
+                    static_cast<std::uint64_t>(cfg_.hopsPerCycle)));
+                ready = std::max(
+                    ready, out.timeOf[static_cast<std::size_t>(p)] +
+                               dfg.node(p).latency + route);
+                hops += dist;
+            }
+            // First free slot at or after ready (searching one full
+            // II window suffices for feasibility at this PE).
+            int t = -1;
+            for (int d = 0; d < ii; ++d) {
+                const int cand = ready + d;
+                if (!busy[static_cast<std::size_t>(pe)]
+                          [static_cast<std::size_t>(cand % ii)]) {
+                    t = cand;
+                    break;
+                }
+            }
+            if (t < 0)
+                continue;
+            // Cost: schedule time first, then routing pressure.
+            const long cost = static_cast<long>(t) * 1024 + hops;
+            if (best_cost < 0 || cost < best_cost) {
+                best_cost = cost;
+                best_pe = pe;
+                best_time = t;
+            }
+        }
+
+        if (best_pe < 0)
+            return false;
+        out.peOf[static_cast<std::size_t>(v)] = best_pe;
+        out.timeOf[static_cast<std::size_t>(v)] = best_time;
+        busy[static_cast<std::size_t>(best_pe)]
+            [static_cast<std::size_t>(best_time % ii)] = true;
+        for (int p : dfg.preds(v))
+            out.routeHops += static_cast<std::uint64_t>(manhattan(
+                out.peOf[static_cast<std::size_t>(p)], best_pe,
+                cfg_.cols));
+    }
+
+    out.ok = true;
+    out.ii = ii;
+    int len = 0;
+    std::vector<bool> used(static_cast<std::size_t>(pes), false);
+    for (int v = 0; v < dfg.size(); ++v) {
+        len = std::max(len, out.timeOf[static_cast<std::size_t>(v)] +
+                                dfg.node(v).latency);
+        used[static_cast<std::size_t>(
+            out.peOf[static_cast<std::size_t>(v)])] = true;
+    }
+    out.schedLen = len;
+    out.pesUsed =
+        static_cast<int>(std::count(used.begin(), used.end(), true));
+    return true;
+}
+
+CgraMapping
+CgraMapper::map(const Dfg &dfg, int rec_mii) const
+{
+    CgraMapping result;
+    if (dfg.size() == 0) {
+        result.ok = true;
+        result.ii = std::max(rec_mii, 1);
+        return result;
+    }
+    const int res_mii = static_cast<int>(
+        divCeil(static_cast<std::uint64_t>(dfg.size()),
+                static_cast<std::uint64_t>(cfg_.numPes())));
+    const int mii = std::max({res_mii, rec_mii, 1});
+    for (int ii = mii; ii <= cfg_.maxII; ++ii) {
+        if (tryMap(dfg, ii, result))
+            return result;
+    }
+    result.ok = false;
+    return result;
+}
+
+} // namespace canon

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Modulo-scheduling mapper for the HyCUBE-like CGRA baseline.
+ *
+ * Places a loop-body DFG onto an RxC mesh of single-op PEs under an
+ * initiation interval II: each PE executes at most one operation per
+ * II time-slot, operands travel over the mesh (HyCUBE-style
+ * single-cycle multi-hop: up to `hopsPerCycle` hops per cycle), and a
+ * successor starts no earlier than its producer's finish plus route
+ * time. The mapper searches II upward from MII = max(resource MII,
+ * recurrence MII) with a greedy nearest-placement heuristic and
+ * restarts; it reports the achieved II, schedule length and PE usage,
+ * which the CGRA timing model turns into kernel cycles.
+ */
+
+#ifndef CANON_BASELINES_CGRA_MAPPER_HH
+#define CANON_BASELINES_CGRA_MAPPER_HH
+
+#include "baselines/dfg.hh"
+
+namespace canon
+{
+
+struct CgraConfig
+{
+    int rows = 16;
+    int cols = 16;
+    int hopsPerCycle = 3; //!< HyCUBE single-cycle multi-hop reach
+    int maxII = 64;
+
+    int numPes() const { return rows * cols; }
+};
+
+struct CgraMapping
+{
+    bool ok = false;
+    int ii = 0;         //!< achieved initiation interval
+    int schedLen = 0;   //!< schedule length (pipeline depth)
+    int pesUsed = 0;
+    std::uint64_t routeHops = 0; //!< per-iteration operand hops
+    std::vector<int> peOf;   //!< node -> PE index
+    std::vector<int> timeOf; //!< node -> issue time
+};
+
+class CgraMapper
+{
+  public:
+    explicit CgraMapper(const CgraConfig &cfg = {}) : cfg_(cfg) {}
+
+    /**
+     * Map @p dfg with loop-carried recurrence constraint @p rec_mii.
+     * Never fails for maxII large enough unless the DFG exceeds the
+     * fabric (more nodes than PE slots at maxII).
+     */
+    CgraMapping map(const Dfg &dfg, int rec_mii = 1) const;
+
+    const CgraConfig &config() const { return cfg_; }
+
+  private:
+    bool tryMap(const Dfg &dfg, int ii, CgraMapping &out) const;
+
+    CgraConfig cfg_;
+};
+
+} // namespace canon
+
+#endif // CANON_BASELINES_CGRA_MAPPER_HH

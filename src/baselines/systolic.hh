@@ -1,0 +1,114 @@
+/**
+ * @file
+ * TPU-like systolic array baseline (Section 5), in two fidelities:
+ *
+ *  - SystolicSim: a genuine cycle-level weight-stationary array that
+ *    computes real values (used to validate the timing model exactly
+ *    and as the densest-possible 2D-mesh reference);
+ *  - SystolicModel: the closed-form timing/activity model the benches
+ *    use at paper scale, cross-validated against SystolicSim in the
+ *    test suite.
+ *
+ * Dataflow: weight-stationary. A KxN weight tile (rows x cols PEs) is
+ * preloaded; activation rows stream in west-to-east skewed by row;
+ * psums flow north-to-south into accumulators. Tiles double-buffer,
+ * so per (k-tile, n-tile) pair the cost is M + fill/drain.
+ *
+ * Sparsity handling: none -- sparse inputs execute as dense (the
+ * fragility the paper quantifies). The TwoFour variant (NVIDIA
+ *-Tensor-Core-like, Section 5) compresses aligned 2:4 input blocks,
+ * halving the effective K; any input that is not 2:4-conformant falls
+ * back to dense execution, and 2:8 inputs are padded to the 2:4
+ * format (half of the stored values are zeros), so they see only the
+ * 2:4 speedup, not 4x (Section 6.2's "diminished performance on 2:8").
+ */
+
+#ifndef CANON_BASELINES_SYSTOLIC_HH
+#define CANON_BASELINES_SYSTOLIC_HH
+
+#include "power/profile.hh"
+#include "sparse/matrix.hh"
+
+namespace canon
+{
+
+enum class SparsitySupport : std::uint8_t
+{
+    Dense,   //!< plain systolic array
+    TwoFour, //!< 2:4 structured-sparse weight/input compression
+};
+
+struct SystolicConfig
+{
+    int rows = 16; //!< PE rows (K tile)
+    int cols = 16; //!< PE cols (N tile)
+    SparsitySupport sparsity = SparsitySupport::Dense;
+
+    int numMacs() const { return rows * cols; }
+};
+
+/** Cycle-level weight-stationary array computing real INT32 results. */
+class SystolicSim
+{
+  public:
+    explicit SystolicSim(const SystolicConfig &cfg);
+
+    /** Run C = A*B to completion; result() and cycles() follow. */
+    void run(const DenseMatrix &a, const DenseMatrix &b);
+
+    const WordMatrix &result() const { return c_; }
+    Cycle cycles() const { return cycles_; }
+
+  private:
+    SystolicConfig cfg_;
+    WordMatrix c_;
+    Cycle cycles_ = 0;
+};
+
+/** Closed-form timing + activity model (per paper-scale bench). */
+class SystolicModel
+{
+  public:
+    explicit SystolicModel(const SystolicConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Dense GEMM of shape MxKxN. @p input_nm describes the A-matrix
+     * N:M structure when known ({0,0} = unstructured/dense): the
+     * TwoFour variant halves effective K for any conformant pattern
+     * with n/m <= 1/2 (2:8 pads up to 2:4).
+     */
+    ExecutionProfile gemm(std::int64_t m, std::int64_t k,
+                          std::int64_t n,
+                          std::pair<int, int> input_nm = {0, 0}) const;
+
+    /** SpMM executes as dense GEMM (no sparsity datapath). */
+    ExecutionProfile spmm(std::int64_t m, std::int64_t k,
+                          std::int64_t n, double /*sparsity*/,
+                          std::pair<int, int> input_nm = {0, 0}) const;
+
+    /** SDDMM: computes the full dense product, masks at the end. */
+    ExecutionProfile sddmm(std::int64_t m, std::int64_t k,
+                           std::int64_t n, double /*mask_sparsity*/)
+        const;
+
+    /**
+     * Sliding-window attention via the sliding-chunk dense conversion
+     * (Longformer): the band is covered by seq/w chunks of w x 2w
+     * dense score blocks.
+     */
+    ExecutionProfile sddmmWindow(std::int64_t seq, std::int64_t k,
+                                 std::int64_t window) const;
+
+    /** The timing formula shared with SystolicSim (tested equal). */
+    Cycle gemmCycles(std::int64_t m, std::int64_t k,
+                     std::int64_t n) const;
+
+    const SystolicConfig &config() const { return cfg_; }
+
+  private:
+    SystolicConfig cfg_;
+};
+
+} // namespace canon
+
+#endif // CANON_BASELINES_SYSTOLIC_HH

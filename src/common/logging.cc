@@ -1,0 +1,32 @@
+#include "common/logging.hh"
+
+#include <iostream>
+
+namespace canon
+{
+namespace log_detail
+{
+
+bool &
+quietFlag()
+{
+    static bool quiet = false;
+    return quiet;
+}
+
+void
+emitWarn(const std::string &msg)
+{
+    if (!quietFlag())
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+emitInform(const std::string &msg)
+{
+    if (!quietFlag())
+        std::cout << "info: " << msg << "\n";
+}
+
+} // namespace log_detail
+} // namespace canon

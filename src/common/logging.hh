@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Error and status reporting helpers, following the gem5 discipline:
+ *
+ *  - panic():  an internal invariant was violated -- a simulator bug.
+ *              Aborts (throws PanicError so tests can assert on it).
+ *  - fatal():  the user asked for something the simulator cannot do
+ *              (bad configuration, invalid arguments). Throws FatalError.
+ *  - warn():   something is modelled approximately; execution continues.
+ *  - inform(): plain status output.
+ *
+ * Both panic() and fatal() throw rather than calling std::abort()/exit()
+ * so that unit tests can exercise error paths; uncaught, they terminate
+ * the process with a readable message.
+ */
+
+#ifndef CANON_COMMON_LOGGING_HH
+#define CANON_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace canon
+{
+
+/** Thrown by panic(): an internal simulator invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(): the simulation cannot continue due to user error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace log_detail
+{
+
+/** Fold any set of streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+void emitWarn(const std::string &msg);
+void emitInform(const std::string &msg);
+bool &quietFlag();
+
+} // namespace log_detail
+
+/** Suppress warn()/inform() output (used by tests and benches). */
+inline void setQuiet(bool quiet) { log_detail::quietFlag() = quiet; }
+
+/** Report an internal simulator bug and unwind. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError("panic: " +
+                     log_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report an unrecoverable user/configuration error and unwind. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError("fatal: " +
+                     log_detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() if @p cond does not hold. */
+template <typename... Args>
+void
+panicIf(bool cond, Args &&...args)
+{
+    if (cond)
+        panic(std::forward<Args>(args)...);
+}
+
+/** fatal() if @p cond does not hold. */
+template <typename... Args>
+void
+fatalIf(bool cond, Args &&...args)
+{
+    if (cond)
+        fatal(std::forward<Args>(args)...);
+}
+
+/** Emit a non-fatal modelling warning. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    log_detail::emitWarn(log_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit a status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    log_detail::emitInform(log_detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace canon
+
+#endif // CANON_COMMON_LOGGING_HH

@@ -1,0 +1,73 @@
+#include "common/stats.hh"
+
+#include <memory>
+
+namespace canon
+{
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Distribution &
+StatGroup::distribution(const std::string &name)
+{
+    return dists_[name];
+}
+
+StatGroup &
+StatGroup::child(const std::string &name)
+{
+    auto it = children_.find(name);
+    if (it == children_.end()) {
+        it = children_
+                 .emplace(name, std::make_unique<StatGroup>(name))
+                 .first;
+    }
+    return *it->second;
+}
+
+std::uint64_t
+StatGroup::sumCounter(const std::string &leaf) const
+{
+    std::uint64_t total = 0;
+    auto it = counters_.find(leaf);
+    if (it != counters_.end())
+        total += it->second.value();
+    for (const auto &[_, child] : children_)
+        total += child->sumCounter(leaf);
+    return total;
+}
+
+std::map<std::string, std::uint64_t>
+StatGroup::flatten() const
+{
+    std::map<std::string, std::uint64_t> out;
+    flattenInto("", out);
+    return out;
+}
+
+void
+StatGroup::flattenInto(const std::string &prefix,
+                       std::map<std::string, std::uint64_t> &out) const
+{
+    for (const auto &[name, ctr] : counters_)
+        out[prefix + name] = ctr.value();
+    for (const auto &[name, child] : children_)
+        child->flattenInto(prefix + name + ".", out);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[_, ctr] : counters_)
+        ctr.reset();
+    for (auto &[_, dist] : dists_)
+        dist.reset();
+    for (auto &[_, child] : children_)
+        child->resetAll();
+}
+
+} // namespace canon

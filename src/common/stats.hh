@@ -1,0 +1,118 @@
+/**
+ * @file
+ * A small statistics framework in the spirit of gem5's stats package.
+ *
+ * Components own a StatGroup; they register named Counter / Scalar /
+ * Distribution statistics against it. Groups nest, so a fabric exposes
+ * `pe03.dmemReads` style paths. The power model consumes the flat view.
+ */
+
+#ifndef CANON_COMMON_STATS_HH
+#define CANON_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace canon
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    void operator+=(std::uint64_t n) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A running distribution: min/max/mean/count. */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        sum_ += v;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    void
+    reset()
+    {
+        min_ = max_ = sum_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * A named collection of statistics. Groups form a tree; leaf values are
+ * registered by the owning component and read back via flat dotted paths.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register (or fetch) a counter under this group. */
+    Counter &counter(const std::string &name);
+
+    /** Register (or fetch) a distribution under this group. */
+    Distribution &distribution(const std::string &name);
+
+    /** Create (or fetch) a nested child group. */
+    StatGroup &child(const std::string &name);
+
+    const std::string &name() const { return name_; }
+
+    /** Sum a counter with @p leaf name across this subtree. */
+    std::uint64_t sumCounter(const std::string &leaf) const;
+
+    /** Flatten the subtree into `path -> value` entries. */
+    std::map<std::string, std::uint64_t> flatten() const;
+
+    /** Zero every statistic in the subtree. */
+    void resetAll();
+
+  private:
+    void flattenInto(const std::string &prefix,
+                     std::map<std::string, std::uint64_t> &out) const;
+
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Distribution> dists_;
+    std::map<std::string, std::unique_ptr<StatGroup>> children_;
+};
+
+} // namespace canon
+
+#endif // CANON_COMMON_STATS_HH

@@ -1,0 +1,100 @@
+#include "common/table.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "common/logging.hh"
+
+namespace canon
+{
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    panicIf(cells.size() != header_.size(),
+            "Table '", title_, "': row width ", cells.size(),
+            " != header width ", header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::fmt(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+Table::fmtInt(std::uint64_t v)
+{
+    std::string raw = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    return {out.rbegin(), out.rend()};
+}
+
+void
+Table::print() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+
+    std::cout << "\n=== " << title_ << " ===\n";
+    auto rule = std::string(total, '-');
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            std::cout << row[c]
+                      << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        std::cout << "\n";
+    };
+    print_row(header_);
+    std::cout << rule << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+    std::cout << std::flush;
+}
+
+void
+Table::writeCsv(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f) {
+        warn("Table '", title_, "': cannot open ", path, " for CSV output");
+        return;
+    }
+    auto write_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            f << (c ? "," : "") << row[c];
+        f << "\n";
+    };
+    write_row(header_);
+    for (const auto &row : rows_)
+        write_row(row);
+}
+
+} // namespace canon

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Paper-style table and series printing for the benchmark harness.
+ *
+ * Every bench binary regenerates one table or figure of the paper; this
+ * helper keeps their output uniform: an aligned text table on stdout plus
+ * an optional CSV dump for plotting.
+ */
+
+#ifndef CANON_COMMON_TABLE_HH
+#define CANON_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace canon
+{
+
+class Table
+{
+  public:
+    explicit Table(std::string title);
+
+    /** Set the column headers. Must be called before addRow(). */
+    void header(std::vector<std::string> cols);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p prec digits after the point. */
+    static std::string fmt(double v, int prec = 2);
+
+    /** Format an integer with thousands separators. */
+    static std::string fmtInt(std::uint64_t v);
+
+    /** Render the aligned table to stdout. */
+    void print() const;
+
+    /** Write the table as CSV to @p path. */
+    void writeCsv(const std::string &path) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace canon
+
+#endif // CANON_COMMON_TABLE_HH

@@ -1,0 +1,20 @@
+#include "core/config.hh"
+
+#include <sstream>
+
+namespace canon
+{
+
+std::string
+CanonConfig::describe() const
+{
+    std::ostringstream os;
+    os << rows << "x" << cols << " PEs, " << kSimdWidth
+       << "-SIMD INT8 (" << numMacs() << " MACs), "
+       << dmemBytesPerPe() / 1024 << "KB dmem/PE, " << spadEntries
+       << "-entry scratchpad (" << spadBytesPerPe() << "B), " << rows
+       << " orchestrators, " << clockGhz << " GHz";
+    return os.str();
+}
+
+} // namespace canon

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fabric configuration (Table 1 of the paper).
+ *
+ * The scratchpad is sized in psum-vector entries (one entry = one Vec4
+ * of INT32). Table 1 lists "64 Bytes per PE" while Section 6.5
+ * evaluates scratchpad *depths* of 1..64 entries with 16 as the
+ * sweet spot; we parameterize by entry depth (default 16) and report
+ * bytes alongside. EXPERIMENTS.md discusses the reconciliation.
+ */
+
+#ifndef CANON_CORE_CONFIG_HH
+#define CANON_CORE_CONFIG_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace canon
+{
+
+struct CanonConfig
+{
+    int rows = 8;          //!< PE rows (= number of orchestrators)
+    int cols = 8;          //!< PE columns
+    int spadEntries = 16;  //!< scratchpad depth in Vec4 psum entries
+    int dmemSlots = 1024;  //!< data memory in Vec4<INT8> slots (4 KB)
+    double clockGhz = 1.0;
+
+    /** The evaluated configuration of Table 1. */
+    static CanonConfig
+    paper()
+    {
+        return CanonConfig{};
+    }
+
+    int numPes() const { return rows * cols; }
+    int numMacs() const { return numPes() * kSimdWidth; }
+
+    std::size_t
+    dmemBytesPerPe() const
+    {
+        return static_cast<std::size_t>(dmemSlots) * kSimdWidth;
+    }
+
+    std::size_t
+    spadBytesPerPe() const
+    {
+        return static_cast<std::size_t>(spadEntries) * kSimdWidth *
+               sizeof(Word);
+    }
+
+    /** Total on-chip data SRAM including the orchestrator LUTs. */
+    std::size_t
+    totalSramBytes() const
+    {
+        const std::size_t lut_bytes = 6 * 1024;
+        return static_cast<std::size_t>(numPes()) * dmemBytesPerPe() +
+               static_cast<std::size_t>(rows) * lut_bytes;
+    }
+
+    std::string describe() const;
+};
+
+} // namespace canon
+
+#endif // CANON_CORE_CONFIG_HH

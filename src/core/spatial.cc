@@ -1,0 +1,93 @@
+#include "core/spatial.hh"
+
+#include "common/logging.hh"
+
+namespace canon
+{
+
+namespace as = addrspace;
+
+SpatialPipeline &
+SpatialPipeline::stage(OpCode op, Addr op1, Addr op2)
+{
+    // Operand legality for a held, repeatedly executing instruction:
+    // local memories and the implicit west chain only. Reading a port
+    // as op1/op2 is allowed for the stream being transformed (VMov
+    // W_IN) but both operands from one local memory would violate the
+    // port budget every cycle.
+    const auto r1 = as::region(op1);
+    const auto r2 = as::region(op2);
+    fatalIf(r1 == AddrRegion::PortOut || r2 == AddrRegion::PortOut,
+            "SpatialPipeline: operands cannot be output ports");
+    fatalIf(r1 == r2 &&
+                (r1 == AddrRegion::Dmem || r1 == AddrRegion::Spad),
+            "SpatialPipeline: two reads of the same local memory in "
+            "one held instruction");
+    switch (op) {
+      case OpCode::VvMacW:
+      case OpCode::VMov:
+      case OpCode::VAdd:
+      case OpCode::VvMac:
+      case OpCode::SvMac:
+        break;
+      default:
+        fatal("SpatialPipeline: opcode ", opName(op),
+              " is not a pipeline stage");
+    }
+
+    Instruction inst;
+    inst.op = op;
+    inst.op1 = op1;
+    inst.op2 = op2;
+    inst.res = as::portOut(Dir::East);
+    stages_.push_back(inst);
+    return *this;
+}
+
+SpatialPipeline &
+SpatialPipeline::forward()
+{
+    Instruction inst;
+    inst.op = OpCode::VMov;
+    inst.op1 = as::portIn(Dir::West);
+    inst.res = as::portOut(Dir::East);
+    stages_.push_back(inst);
+    return *this;
+}
+
+std::vector<Instruction>
+SpatialPipeline::instructions(int cols) const
+{
+    fatalIf(size() > cols, "SpatialPipeline: ", size(),
+            " stages exceed ", cols, " columns");
+    auto insts = stages_;
+    while (static_cast<int>(insts.size()) < cols) {
+        Instruction fwd;
+        fwd.op = OpCode::VMov;
+        fwd.op1 = as::portIn(Dir::West);
+        fwd.res = as::portOut(Dir::East);
+        insts.push_back(fwd);
+    }
+    return insts;
+}
+
+std::vector<std::vector<Instruction>>
+buildSpatialProgram(const std::vector<SpatialPipeline> &rows,
+                    int rows_n, int cols)
+{
+    fatalIf(static_cast<int>(rows.size()) > rows_n,
+            "buildSpatialProgram: more pipelines than rows");
+    std::vector<std::vector<Instruction>> grid;
+    grid.reserve(static_cast<std::size_t>(rows_n));
+    for (int r = 0; r < rows_n; ++r) {
+        if (r < static_cast<int>(rows.size()))
+            grid.push_back(
+                rows[static_cast<std::size_t>(r)].instructions(cols));
+        else
+            grid.emplace_back(static_cast<std::size_t>(cols),
+                              nopInst());
+    }
+    return grid;
+}
+
+} // namespace canon

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Spatial-mode mapping utilities (Appendix D / Figure 22).
+ *
+ * The spatial mode gives every PE its own held instruction -- the
+ * place-and-route compatibility mode of classic CGRAs. The natural
+ * unit the fabric supports directly is a *row pipeline*: data enters
+ * the west edge, each column applies one operation chaining through
+ * the W->E circuit, results leave the east edge. SpatialPipeline is a
+ * checked builder for such pipelines (operand-port legality, one
+ * stage per column, pass-through padding), and buildSpatialProgram()
+ * assembles per-row pipelines into the instruction grid
+ * CanonFabric::configureSpatial() consumes.
+ */
+
+#ifndef CANON_CORE_SPATIAL_HH
+#define CANON_CORE_SPATIAL_HH
+
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace canon
+{
+
+class SpatialPipeline
+{
+  public:
+    /**
+     * Append a stage: the column's PE executes @p op with local
+     * operands @p op1 / @p op2; the chained value from the west is
+     * implicit for VvMacW, and every stage's result continues east.
+     * VMov stages forward/transform the stream itself.
+     */
+    SpatialPipeline &stage(OpCode op, Addr op1,
+                           Addr op2 = addrspace::kNullAddr);
+
+    /** A plain forwarding stage (bucket brigade). */
+    SpatialPipeline &forward();
+
+    int size() const { return static_cast<int>(stages_.size()); }
+
+    /**
+     * Emit per-column instructions, padding unused trailing columns
+     * with forwarders so results still reach the east edge. Fatal if
+     * more stages than columns.
+     */
+    std::vector<Instruction> instructions(int cols) const;
+
+  private:
+    std::vector<Instruction> stages_;
+};
+
+/**
+ * Assemble one pipeline per fabric row (missing rows idle at NOP)
+ * into the configureSpatial() instruction grid.
+ */
+std::vector<std::vector<Instruction>>
+buildSpatialProgram(const std::vector<SpatialPipeline> &rows, int rows_n,
+                    int cols);
+
+} // namespace canon
+
+#endif // CANON_CORE_SPATIAL_HH

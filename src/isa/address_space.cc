@@ -1,0 +1,73 @@
+#include "isa/address_space.hh"
+
+namespace canon
+{
+namespace addrspace
+{
+
+AddrRegion
+region(Addr a)
+{
+    if (a < kDmemBase + kDmemSize)
+        return AddrRegion::Dmem;
+    if (a >= kSpadBase && a < kSpadBase + kSpadSize)
+        return AddrRegion::Spad;
+    if (a >= kRegBase && a < kRegBase + kRegSize)
+        return AddrRegion::Reg;
+    if (a >= kPortInBase && a < kPortInBase + kNumDirs)
+        return AddrRegion::PortIn;
+    if (a >= kPortOutBase && a < kPortOutBase + kNumDirs)
+        return AddrRegion::PortOut;
+    if (a == kZeroAddr)
+        return AddrRegion::Zero;
+    if (a == kNullAddr)
+        return AddrRegion::Null;
+    return AddrRegion::Invalid;
+}
+
+Addr
+offset(Addr a)
+{
+    switch (region(a)) {
+      case AddrRegion::Dmem:
+        return static_cast<Addr>(a - kDmemBase);
+      case AddrRegion::Spad:
+        return static_cast<Addr>(a - kSpadBase);
+      case AddrRegion::Reg:
+        return static_cast<Addr>(a - kRegBase);
+      case AddrRegion::PortIn:
+        return static_cast<Addr>(a - kPortInBase);
+      case AddrRegion::PortOut:
+        return static_cast<Addr>(a - kPortOutBase);
+      default:
+        return 0;
+    }
+}
+
+std::string
+toString(Addr a)
+{
+    const auto off = std::to_string(offset(a));
+    switch (region(a)) {
+      case AddrRegion::Dmem:
+        return "DMEM[" + off + "]";
+      case AddrRegion::Spad:
+        return "SPAD[" + off + "]";
+      case AddrRegion::Reg:
+        return "R" + off;
+      case AddrRegion::PortIn:
+        return std::string(dirName(static_cast<Dir>(offset(a)))) + "_IN";
+      case AddrRegion::PortOut:
+        return std::string(dirName(static_cast<Dir>(offset(a)))) + "_OUT";
+      case AddrRegion::Zero:
+        return "ZERO";
+      case AddrRegion::Null:
+        return "NULL";
+      case AddrRegion::Invalid:
+        break;
+    }
+    return "INVALID(0x" + std::to_string(a) + ")";
+}
+
+} // namespace addrspace
+} // namespace canon

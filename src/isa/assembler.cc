@@ -1,0 +1,175 @@
+#include "isa/assembler.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace canon
+{
+
+namespace
+{
+
+namespace as = addrspace;
+
+std::string
+upper(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::toupper(c));
+    });
+    return s;
+}
+
+/** Split off a bracketed index: "DMEM[3]" -> ("DMEM", 3). */
+bool
+splitIndexed(const std::string &s, std::string &base, int &index)
+{
+    const auto lb = s.find('[');
+    if (lb == std::string::npos || s.back() != ']')
+        return false;
+    base = s.substr(0, lb);
+    try {
+        index = std::stoi(s.substr(lb + 1, s.size() - lb - 2));
+    } catch (const std::exception &) {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+Addr
+parseAddr(const std::string &text)
+{
+    const auto s = upper(text);
+    std::string base;
+    int index = 0;
+    if (splitIndexed(s, base, index)) {
+        if (base == "DMEM")
+            return as::dmem(index);
+        if (base == "SPAD")
+            return as::spad(index);
+        fatal("parseAddr: unknown region '", base, "' in '", text,
+              "'");
+    }
+    if (s.size() >= 2 && s[0] == 'R' &&
+        std::isdigit(static_cast<unsigned char>(s[1]))) {
+        try {
+            return as::reg(std::stoi(s.substr(1)));
+        } catch (const std::exception &) {
+            fatal("parseAddr: bad register '", text, "'");
+        }
+    }
+    static const std::pair<const char *, Addr> ports[] = {
+        {"N_IN", as::portIn(Dir::North)},
+        {"S_IN", as::portIn(Dir::South)},
+        {"E_IN", as::portIn(Dir::East)},
+        {"W_IN", as::portIn(Dir::West)},
+        {"N_OUT", as::portOut(Dir::North)},
+        {"S_OUT", as::portOut(Dir::South)},
+        {"E_OUT", as::portOut(Dir::East)},
+        {"W_OUT", as::portOut(Dir::West)},
+    };
+    for (const auto &[name, addr] : ports)
+        if (s == name)
+            return addr;
+    if (s == "ZERO")
+        return as::kZeroAddr;
+    if (s == "NULL")
+        return as::kNullAddr;
+    fatal("parseAddr: cannot parse '", text, "'");
+}
+
+Instruction
+assembleInstruction(const std::string &text)
+{
+    // Tokenize around the punctuation we care about.
+    std::string normalized;
+    normalized.reserve(text.size() + 8);
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c == ',') {
+            normalized += ' ';
+        } else if (c == '-' && i + 1 < text.size() &&
+                   text[i + 1] == '>') {
+            normalized += " -> ";
+            ++i;
+        } else {
+            normalized += c;
+        }
+    }
+
+    std::istringstream in(normalized);
+    std::vector<std::string> tokens;
+    for (std::string tok; in >> tok;)
+        tokens.push_back(tok);
+    fatalIf(tokens.empty(), "assembleInstruction: empty input");
+
+    Instruction inst;
+    const auto op = upper(tokens[0]);
+    std::size_t pos = 1;
+    if (op == "NOP") {
+        inst.op = OpCode::Nop;
+    } else if (op == "HOLD") {
+        inst.op = OpCode::Hold;
+    } else {
+        static const std::pair<const char *, OpCode> ops[] = {
+            {"SVMAC", OpCode::SvMac},   {"VVMAC", OpCode::VvMac},
+            {"VVMACW", OpCode::VvMacW}, {"VADD", OpCode::VAdd},
+            {"VMOV", OpCode::VMov},     {"VFLUSH", OpCode::VFlush},
+        };
+        bool found = false;
+        for (const auto &[name, code] : ops) {
+            if (op == name) {
+                inst.op = code;
+                found = true;
+                break;
+            }
+        }
+        fatalIf(!found, "assembleInstruction: unknown opcode '",
+                tokens[0], "'");
+
+        // op1 [op2] -> res
+        fatalIf(pos >= tokens.size(),
+                "assembleInstruction: missing operands in '", text,
+                "'");
+        inst.op1 = parseAddr(tokens[pos++]);
+        if (pos < tokens.size() && tokens[pos] != "->")
+            inst.op2 = parseAddr(tokens[pos++]);
+        fatalIf(pos >= tokens.size() || tokens[pos] != "->",
+                "assembleInstruction: expected '->' in '", text, "'");
+        ++pos;
+        fatalIf(pos >= tokens.size(),
+                "assembleInstruction: missing destination in '", text,
+                "'");
+        inst.res = parseAddr(tokens[pos++]);
+    }
+
+    // Optional route list and hold flag.
+    for (; pos < tokens.size(); ++pos) {
+        auto tok = upper(tokens[pos]);
+        // Strip brackets that survived tokenization.
+        std::erase(tok, '[');
+        std::erase(tok, ']');
+        if (tok.empty())
+            continue;
+        if (tok == "N>S")
+            inst.route |= kRouteN2S;
+        else if (tok == "W>E")
+            inst.route |= kRouteW2E;
+        else if (tok == "S>N")
+            inst.route |= kRouteS2N;
+        else if (tok == "E>W")
+            inst.route |= kRouteE2W;
+        else if (tok == "{HOLD}")
+            inst.hold = true;
+        else
+            fatal("assembleInstruction: unexpected token '",
+                  tokens[pos], "' in '", text, "'");
+    }
+    return inst;
+}
+
+} // namespace canon

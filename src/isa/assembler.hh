@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Textual instruction assembler: the inverse of
+ * Instruction::toString(). Useful for writing spatial-mode programs
+ * and tests as text, and for round-tripping disassembled streams.
+ *
+ * Grammar (case-insensitive opcodes, whitespace tolerant):
+ *
+ *   inst    := op [ operand "," operand "->" operand ]
+ *              [ "[" route+ "]" ] [ "{hold}" ]
+ *   op      := NOP | SVMAC | VVMAC | VVMACW | VADD | VMOV | VFLUSH
+ *              | HOLD
+ *   operand := DMEM "[" n "]" | SPAD "[" n "]" | R n
+ *              | N_IN | S_IN | E_IN | W_IN
+ *              | N_OUT | S_OUT | E_OUT | W_OUT | ZERO | NULL
+ *   route   := N>S | W>E | S>N | E>W
+ */
+
+#ifndef CANON_ISA_ASSEMBLER_HH
+#define CANON_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/instruction.hh"
+
+namespace canon
+{
+
+/** Parse one instruction; throws FatalError with a diagnostic. */
+Instruction assembleInstruction(const std::string &text);
+
+/** Parse an operand address, e.g. "DMEM[3]", "W_IN", "R2". */
+Addr parseAddr(const std::string &text);
+
+} // namespace canon
+
+#endif // CANON_ISA_ASSEMBLER_HH

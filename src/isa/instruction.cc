@@ -1,0 +1,94 @@
+#include "isa/instruction.hh"
+
+#include "common/bitfield.hh"
+
+namespace canon
+{
+
+const char *
+opName(OpCode op)
+{
+    switch (op) {
+      case OpCode::Nop: return "NOP";
+      case OpCode::SvMac: return "SVMAC";
+      case OpCode::VvMac: return "VVMAC";
+      case OpCode::VvMacW: return "VVMACW";
+      case OpCode::VAdd: return "VADD";
+      case OpCode::VMov: return "VMOV";
+      case OpCode::VFlush: return "VFLUSH";
+      case OpCode::Hold: return "HOLD";
+      case OpCode::NumOpCodes: break;
+    }
+    return "???";
+}
+
+namespace
+{
+
+// Field layout of the encoded 64-bit instruction word.
+constexpr int kOpLo = 0, kOpHi = 5;
+constexpr int kOp1Lo = 6, kOp1Hi = 21;
+constexpr int kOp2Lo = 22, kOp2Hi = 37;
+constexpr int kResLo = 38, kResHi = 53;
+constexpr int kRouteLo = 54, kRouteHi = 57;
+constexpr int kHoldBit = 58;
+
+} // namespace
+
+std::uint64_t
+Instruction::encode() const
+{
+    std::uint64_t w = 0;
+    w = insertBits(w, kOpHi, kOpLo, static_cast<std::uint64_t>(op));
+    w = insertBits(w, kOp1Hi, kOp1Lo, op1);
+    w = insertBits(w, kOp2Hi, kOp2Lo, op2);
+    w = insertBits(w, kResHi, kResLo, res);
+    w = insertBits(w, kRouteHi, kRouteLo, route);
+    w = insertBits(w, kHoldBit, kHoldBit, hold ? 1 : 0);
+    return w;
+}
+
+Instruction
+Instruction::decode(std::uint64_t word)
+{
+    const auto op_field = bits(word, kOpHi, kOpLo);
+    panicIf(op_field >=
+                static_cast<std::uint64_t>(OpCode::NumOpCodes),
+            "Instruction::decode: illegal opcode field ", op_field);
+    Instruction inst;
+    inst.op = static_cast<OpCode>(op_field);
+    inst.op1 = static_cast<Addr>(bits(word, kOp1Hi, kOp1Lo));
+    inst.op2 = static_cast<Addr>(bits(word, kOp2Hi, kOp2Lo));
+    inst.res = static_cast<Addr>(bits(word, kResHi, kResLo));
+    inst.route = static_cast<std::uint8_t>(bits(word, kRouteHi, kRouteLo));
+    inst.hold = bits(word, kHoldBit, kHoldBit) != 0;
+    return inst;
+}
+
+std::string
+Instruction::toString() const
+{
+    std::string s = opName(op);
+    if (op != OpCode::Nop && op != OpCode::Hold) {
+        s += " " + addrspace::toString(op1);
+        s += ", " + addrspace::toString(op2);
+        s += " -> " + addrspace::toString(res);
+    }
+    if (route) {
+        s += " [";
+        if (route & kRouteN2S)
+            s += "N>S";
+        if (route & kRouteW2E)
+            s += std::string(s.back() == '[' ? "" : " ") + "W>E";
+        if (route & kRouteS2N)
+            s += std::string(s.back() == '[' ? "" : " ") + "S>N";
+        if (route & kRouteE2W)
+            s += std::string(s.back() == '[' ? "" : " ") + "E>W";
+        s += "]";
+    }
+    if (hold)
+        s += " {hold}";
+    return s;
+}
+
+} // namespace canon

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The dense-cadence program: GEMM and N:M structured-sparse SpMM.
+ *
+ * When the per-row non-zero count of every output row is known at
+ * compile time -- K for dense GEMM, K*N/M for N:M sparsity -- no
+ * scratchpad buffer management is needed (Section 4.1.3): each PE
+ * accumulates in a ring of 8 SIMD registers, flushes south on a fixed
+ * cadence counted in a state-meta register, and merges psums arriving
+ * from the north directly into the ring (the systolic-style dataflow
+ * Canon emulates for regular tensor work, Section 6.2). Streams are
+ * skewed by compile-time offsets so a psum for output row m arrives
+ * while m is within the register window; the message window throttles
+ * any drift, and out-of-window psums still bypass correctly.
+ *
+ * This is also why GEMM power shows no scratchpad component in
+ * Figure 11: the scratchpad is simply not part of this program.
+ */
+
+#ifndef CANON_KERNELS_DENSE_CADENCE_HH
+#define CANON_KERNELS_DENSE_CADENCE_HH
+
+#include <memory>
+
+#include "core/config.hh"
+#include "core/kernel_mapping.hh"
+#include "sparse/matrix.hh"
+
+namespace canon
+{
+
+namespace cadence_state
+{
+constexpr std::uint8_t kMac = 0;
+constexpr std::uint8_t kMerge = 1;
+constexpr std::uint8_t kFlush = 2;
+constexpr std::uint8_t kDrain = 3;
+} // namespace cadence_state
+
+/** Psum-merge register-ring size (R0..R15). */
+constexpr int kMergeWindow = 16;
+
+/**
+ * Build the cadence program: flush after @p cadence MACs per output
+ * row.
+ */
+std::shared_ptr<OrchProgram> buildCadenceProgram(int cadence);
+
+/** Dense GEMM: A (MxK) x B (KxN), systolic-style dataflow. */
+KernelMapping mapGemm(const DenseMatrix &a, const DenseMatrix &b,
+                      const CanonConfig &cfg);
+
+/**
+ * N:M structured SpMM: A conforms to exactly @p n non-zeros per
+ * aligned group of @p m; Canon skips the zeros, so the cadence is
+ * K*n/m per output row. The mapping is otherwise identical to SpMM
+ * (Section 4.1.3).
+ */
+KernelMapping mapNmSpmm(const DenseMatrix &a, const DenseMatrix &b,
+                        int n, int m, const CanonConfig &cfg);
+
+} // namespace canon
+
+#endif // CANON_KERNELS_DENSE_CADENCE_HH

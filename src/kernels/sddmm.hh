@@ -1,0 +1,56 @@
+/**
+ * @file
+ * SDDMM on Canon (Section 4.1.2, Listing 4, Figure 7b/19).
+ *
+ * C = mask .* (A x B): sparsity lives in the *output*. The dense A
+ * streams from the top edge down the columns; each PE row owns a block
+ * of output columns with the matching B slice resident in data memory.
+ * For every live mask position the row performs a vector-MAC chain
+ * west->east; the east edge reduces the 4 lanes to the output scalar.
+ *
+ * Load imbalance (rows own different mask populations) is absorbed by
+ * the scratchpad: each row *prefetches* arriving A vectors into a
+ * circular scratchpad window and forwards them south immediately, so a
+ * busy row can fall up to `depth` rows behind the stream before its
+ * neighbours feel backpressure -- the SDDMM use of the buffer
+ * described in Section 4.1.2 ("store and reuse incoming vectors from
+ * A, amortizing their loading cost across multiple masked positions").
+ *
+ * Fabric-native shape constraints: K == cols*4, N % rows == 0,
+ * N/rows <= dmem slots, scratchpad depth a power of two.
+ */
+
+#ifndef CANON_KERNELS_SDDMM_HH
+#define CANON_KERNELS_SDDMM_HH
+
+#include <memory>
+
+#include "core/config.hh"
+#include "core/kernel_mapping.hh"
+#include "sparse/matrix.hh"
+
+namespace canon
+{
+
+namespace sddmm_state
+{
+constexpr std::uint8_t kMac = 0;
+constexpr std::uint8_t kLoadA = 1;
+constexpr std::uint8_t kDrain = 2;
+constexpr std::uint8_t kDone = 3;
+} // namespace sddmm_state
+
+/**
+ * Build the SDDMM program for @p total_steps streamed A vectors and a
+ * prefetch window of @p spad_depth entries.
+ */
+std::shared_ptr<OrchProgram> buildSddmmProgram(int total_steps,
+                                               int spad_depth);
+
+/** Map C = mask .* (A(MxK) x B(KxN)) onto the fabric. */
+KernelMapping mapSddmm(const CsrMatrix &mask, const DenseMatrix &a,
+                       const DenseMatrix &b, const CanonConfig &cfg);
+
+} // namespace canon
+
+#endif // CANON_KERNELS_SDDMM_HH

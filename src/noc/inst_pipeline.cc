@@ -1,0 +1,57 @@
+#include "noc/inst_pipeline.hh"
+
+#include "common/logging.hh"
+
+namespace canon
+{
+
+InstPipeline::InstPipeline(int columns)
+    : columns_(columns),
+      stages_(static_cast<std::size_t>(kIssueStagger) * (columns - 1) + 1,
+              nopInst().encode()),
+      staged_(nopInst().encode())
+{
+    panicIf(columns <= 0, "InstPipeline: need at least one column");
+}
+
+void
+InstPipeline::issue(const Instruction &inst)
+{
+    panicIf(issuedThisCycle_,
+            "InstPipeline: orchestrator issued twice in one cycle");
+    staged_ = inst.encode();
+    issuedThisCycle_ = true;
+}
+
+Instruction
+InstPipeline::tap(int c) const
+{
+    panicIf(c < 0 || c >= columns_, "InstPipeline: tap ", c, " out of ",
+            columns_);
+    return Instruction::decode(
+        stages_[static_cast<std::size_t>(kIssueStagger) * c]);
+}
+
+bool
+InstPipeline::drained() const
+{
+    const auto nop = nopInst().encode();
+    for (auto w : stages_)
+        if (w != nop)
+            return false;
+    return true;
+}
+
+void
+InstPipeline::tickCommit()
+{
+    if (!frozen_) {
+        for (std::size_t i = stages_.size() - 1; i > 0; --i)
+            stages_[i] = stages_[i - 1];
+        stages_[0] = issuedThisCycle_ ? staged_ : nopInst().encode();
+    }
+    issuedThisCycle_ = false;
+    staged_ = nopInst().encode();
+}
+
+} // namespace canon

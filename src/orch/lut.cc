@@ -1,0 +1,145 @@
+#include "orch/lut.hh"
+
+#include "common/bitfield.hh"
+
+namespace canon
+{
+
+namespace
+{
+
+// Bit layout of the 48-bit output word (LSB-0).
+constexpr int kNextStateLo = 0;  // 3b
+constexpr int kPeOpLo = 3;       // 3b
+constexpr int kOp1ModeLo = 6;    // 4b
+constexpr int kOp2ModeLo = 10;   // 4b
+constexpr int kResModeLo = 14;   // 4b
+constexpr int kRouteModeLo = 18; // 2b
+constexpr int kMsgModeLo = 20;   // 2b
+constexpr int kBufferOpLo = 22;  // 2b
+constexpr int kMetaUpd0Lo = 24;  // 2b
+constexpr int kMetaUpd1Lo = 26;  // 2b
+constexpr int kConsumeInputBit = 28;
+constexpr int kConsumeMsgBit = 29;
+constexpr int kWestFeedLo = 30;  // 2b
+constexpr int kEmitOutRecBit = 32;
+constexpr int kStallableBit = 33;
+
+} // namespace
+
+std::uint64_t
+packOutput(const OutputFields &f)
+{
+    std::uint64_t w = 0;
+    w = insertBits(w, kNextStateLo + 2, kNextStateLo, f.nextState);
+    w = insertBits(w, kPeOpLo + 2, kPeOpLo,
+                   static_cast<std::uint64_t>(f.peOp));
+    w = insertBits(w, kOp1ModeLo + 3, kOp1ModeLo, f.op1Mode);
+    w = insertBits(w, kOp2ModeLo + 3, kOp2ModeLo, f.op2Mode);
+    w = insertBits(w, kResModeLo + 3, kResModeLo, f.resMode);
+    w = insertBits(w, kRouteModeLo + 1, kRouteModeLo, f.routeMode);
+    w = insertBits(w, kMsgModeLo + 1, kMsgModeLo, f.msgMode);
+    w = insertBits(w, kBufferOpLo + 1, kBufferOpLo,
+                   static_cast<std::uint64_t>(f.bufferOp));
+    w = insertBits(w, kMetaUpd0Lo + 1, kMetaUpd0Lo, f.metaUpd0);
+    w = insertBits(w, kMetaUpd1Lo + 1, kMetaUpd1Lo, f.metaUpd1);
+    w = insertBits(w, kConsumeInputBit, kConsumeInputBit,
+                   f.consumeInput ? 1 : 0);
+    w = insertBits(w, kConsumeMsgBit, kConsumeMsgBit,
+                   f.consumeMsg ? 1 : 0);
+    w = insertBits(w, kWestFeedLo + 1, kWestFeedLo,
+                   static_cast<std::uint64_t>(f.westFeed));
+    w = insertBits(w, kEmitOutRecBit, kEmitOutRecBit,
+                   f.emitOutRec ? 1 : 0);
+    w = insertBits(w, kStallableBit, kStallableBit, f.stallable ? 1 : 0);
+    return w;
+}
+
+OutputFields
+unpackOutput(std::uint64_t word)
+{
+    OutputFields f;
+    f.nextState = static_cast<std::uint8_t>(
+        bits(word, kNextStateLo + 2, kNextStateLo));
+    f.peOp = static_cast<OpCode>(bits(word, kPeOpLo + 2, kPeOpLo));
+    f.op1Mode =
+        static_cast<std::uint8_t>(bits(word, kOp1ModeLo + 3, kOp1ModeLo));
+    f.op2Mode =
+        static_cast<std::uint8_t>(bits(word, kOp2ModeLo + 3, kOp2ModeLo));
+    f.resMode =
+        static_cast<std::uint8_t>(bits(word, kResModeLo + 3, kResModeLo));
+    f.routeMode = static_cast<std::uint8_t>(
+        bits(word, kRouteModeLo + 1, kRouteModeLo));
+    f.msgMode =
+        static_cast<std::uint8_t>(bits(word, kMsgModeLo + 1, kMsgModeLo));
+    f.bufferOp = static_cast<BufferOp>(
+        bits(word, kBufferOpLo + 1, kBufferOpLo));
+    f.metaUpd0 = static_cast<std::uint8_t>(
+        bits(word, kMetaUpd0Lo + 1, kMetaUpd0Lo));
+    f.metaUpd1 = static_cast<std::uint8_t>(
+        bits(word, kMetaUpd1Lo + 1, kMetaUpd1Lo));
+    f.consumeInput = bits(word, kConsumeInputBit, kConsumeInputBit) != 0;
+    f.consumeMsg = bits(word, kConsumeMsgBit, kConsumeMsgBit) != 0;
+    f.westFeed =
+        static_cast<WestFeed>(bits(word, kWestFeedLo + 1, kWestFeedLo));
+    f.emitOutRec = bits(word, kEmitOutRecBit, kEmitOutRecBit) != 0;
+    f.stallable = bits(word, kStallableBit, kStallableBit) != 0;
+    return f;
+}
+
+std::uint16_t
+lutIndex(std::uint8_t state, std::uint8_t msg_id, std::uint8_t cond_bits)
+{
+    panicIf(state >= kNumFsmStates, "lutIndex: state ", state,
+            " out of range");
+    panicIf(msg_id >= 8, "lutIndex: msgId ", msg_id, " out of range");
+    panicIf(cond_bits >= (1 << kNumCondBits), "lutIndex: cond bits ",
+            cond_bits, " out of range");
+    return static_cast<std::uint16_t>((state << 7) | (msg_id << 4) |
+                                      cond_bits);
+}
+
+FsmLut::FsmLut()
+{
+    words_.fill(0);
+    decoded_.fill(OutputFields{});
+}
+
+void
+FsmLut::set(std::uint16_t index, const OutputFields &f)
+{
+    panicIf(index >= kLutEntries, "FsmLut: index ", index, " out of ",
+            kLutEntries);
+    words_[index] = packOutput(f);
+    decoded_[index] = f;
+}
+
+std::vector<std::uint8_t>
+FsmLut::toBitstream() const
+{
+    std::vector<std::uint8_t> bits;
+    bits.reserve(bitstreamBytes());
+    for (auto w : words_)
+        for (int b = 0; b < kLutWordBits / 8; ++b)
+            bits.push_back(static_cast<std::uint8_t>(w >> (8 * b)));
+    return bits;
+}
+
+void
+FsmLut::loadBitstream(const std::vector<std::uint8_t> &bits)
+{
+    panicIf(bits.size() != bitstreamBytes(),
+            "FsmLut: bitstream is ", bits.size(), " bytes, expected ",
+            bitstreamBytes());
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        std::uint64_t w = 0;
+        for (int b = 0; b < kLutWordBits / 8; ++b)
+            w |= static_cast<std::uint64_t>(
+                     bits[i * (kLutWordBits / 8) + b])
+                 << (8 * b);
+        words_[i] = w;
+        decoded_[i] = unpackOutput(w);
+    }
+}
+
+} // namespace canon

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The orchestrator's programmable-logic LUT (Section 3.2).
+ *
+ * 2^10 entries x 48 bits = 6 KB of SRAM, addressed by
+ *
+ *   index = state(3) | msgId(3) | condBits(4)
+ *
+ * and prefilled before kernel execution from a bitstream. pack() /
+ * unpack() convert between the semantic OutputFields view and the
+ * 48-bit hardware image; serialization round-trips are property-tested.
+ */
+
+#ifndef CANON_ORCH_LUT_HH
+#define CANON_ORCH_LUT_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "orch/config.hh"
+
+namespace canon
+{
+
+/** Pack the semantic fields into the 48-bit LUT word. */
+std::uint64_t packOutput(const OutputFields &f);
+
+/** Unpack a 48-bit LUT word. */
+OutputFields unpackOutput(std::uint64_t word);
+
+/** Compose a LUT index from the condition inputs. */
+std::uint16_t lutIndex(std::uint8_t state, std::uint8_t msg_id,
+                       std::uint8_t cond_bits);
+
+class FsmLut
+{
+  public:
+    FsmLut();
+
+    const OutputFields &
+    lookup(std::uint16_t index) const
+    {
+        return decoded_[index];
+    }
+
+    void set(std::uint16_t index, const OutputFields &f);
+
+    /** Size of the bitstream image in bytes (6 KB). */
+    static constexpr std::size_t
+    bitstreamBytes()
+    {
+        return static_cast<std::size_t>(kLutEntries) * kLutWordBits / 8;
+    }
+
+    /** Serialize the SRAM contents ("bitstream" of Figure 1). */
+    std::vector<std::uint8_t> toBitstream() const;
+
+    /** Prefill the SRAM from a bitstream. */
+    void loadBitstream(const std::vector<std::uint8_t> &bits);
+
+  private:
+    // Raw 48-bit words (hardware image) + a decoded shadow for speed.
+    std::array<std::uint64_t, kLutEntries> words_;
+    std::array<OutputFields, kLutEntries> decoded_;
+};
+
+} // namespace canon
+
+#endif // CANON_ORCH_LUT_HH

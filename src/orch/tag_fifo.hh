@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The orchestrator-side view of the scratchpad psum buffer.
+ *
+ * Section 4.1.1: the scratchpad "operates as a FIFO queue, and each PE
+ * processes only the partial sums that are explicitly managed at any
+ * given time ... The orchestrator actively monitors buffer occupancy,
+ * maintaining metadata to track the oldest row index present in the
+ * context queue."
+ *
+ * TagFifo is that metadata: a circular queue of row-ID tags mapping to
+ * physical scratchpad slots, with the `is_managing(RID)` search of
+ * Listing 1. One slot is always reserved as the in-flight accumulation
+ * slot of the row currently being MACed (tailSlot()); resident entries
+ * are therefore bounded by capacity - 1. Depth 1 degenerates to the
+ * "single register" baseline of Figure 17: nothing is buffered and
+ * every row end flushes immediately.
+ *
+ * Tags are searched associatively. The paper keeps a contiguous-RID
+ * window in two meta registers; the associative form additionally
+ * supports rows whose slice is empty being skipped in the meta stream,
+ * which the contiguous window cannot address. DESIGN.md records this
+ * interpretation; the cost model charges a CAM-style search per probe.
+ */
+
+#ifndef CANON_ORCH_TAG_FIFO_HH
+#define CANON_ORCH_TAG_FIFO_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace canon
+{
+
+class TagFifo
+{
+  public:
+    TagFifo(int capacity, StatGroup &stats)
+        : capacity_(capacity),
+          searches_(stats.counter("bufferSearches")),
+          pushes_(stats.counter("bufferPushes"))
+    {
+        panicIf(capacity <= 0, "TagFifo: capacity must be positive");
+    }
+
+    int capacity() const { return capacity_; }
+
+    /** Resident entries allowed while a row is still accumulating. */
+    int residentCap() const { return capacity_ - 1; }
+
+    int size() const { return static_cast<int>(tags_.size()); }
+    bool empty() const { return tags_.empty(); }
+
+    /** Will the next push exceed the resident budget (flush needed)? */
+    bool atResidentCap() const { return size() >= residentCap(); }
+
+    /** Physical slot the current (unpushed) row accumulates into. */
+    int
+    tailSlot() const
+    {
+        return (headSlot_ + size()) % capacity_;
+    }
+
+    int
+    headSlot() const
+    {
+        panicIf(tags_.empty(), "TagFifo: headSlot() on empty buffer");
+        return headSlot_;
+    }
+
+    std::uint16_t
+    headTag() const
+    {
+        panicIf(tags_.empty(), "TagFifo: headTag() on empty buffer");
+        return tags_.front();
+    }
+
+    /** is_managing(tag): physical slot if resident, nullopt if not. */
+    std::optional<int>
+    search(std::uint16_t tag) const
+    {
+        ++searches_;
+        for (std::size_t i = 0; i < tags_.size(); ++i) {
+            if (tags_[i] == tag)
+                return (headSlot_ + static_cast<int>(i)) % capacity_;
+        }
+        return std::nullopt;
+    }
+
+    /** Materialize the accumulation slot as a managed entry. */
+    void
+    push(std::uint16_t tag)
+    {
+        panicIf(size() >= capacity_, "TagFifo: push beyond capacity");
+        ++pushes_;
+        tags_.push_back(tag);
+    }
+
+    /** Retire the oldest entry (its slot becomes reusable). */
+    void
+    pop()
+    {
+        panicIf(tags_.empty(), "TagFifo: pop on empty buffer");
+        tags_.pop_front();
+        headSlot_ = (headSlot_ + 1) % capacity_;
+    }
+
+    void
+    reset()
+    {
+        tags_.clear();
+        headSlot_ = 0;
+    }
+
+  private:
+    int capacity_;
+    std::deque<std::uint16_t> tags_;
+    int headSlot_ = 0;
+    Counter &searches_; // incrementable from const search(): the
+    Counter &pushes_;   // counters live in the owning StatGroup
+};
+
+} // namespace canon
+
+#endif // CANON_ORCH_TAG_FIFO_HH

@@ -1,0 +1,66 @@
+#include "power/energy.hh"
+
+#include <algorithm>
+
+namespace canon
+{
+
+EnergyReport
+EnergyModel::evaluate(const ExecutionProfile &p, double clock_ghz) const
+{
+    EnergyReport r;
+    r.cycles = p.cycles;
+    r.clockGhz = clock_ghz;
+
+    // Energy-active MAC events: systolic-style models report padded
+    // activity in macSlots; cycle simulators report exact laneMacs.
+    const auto mac_events =
+        std::max(p.get("macSlots"), p.get("laneMacs"));
+
+    r.categoriesPj["compute"] =
+        static_cast<double>(mac_events) * params_.macInt8Pj +
+        static_cast<double>(p.get("aluOps")) * params_.aluAddPj +
+        static_cast<double>(p.get("shiftOps")) * params_.shiftOpPj +
+        static_cast<double>(p.get("nmSelectOps")) * params_.nmSelectPj;
+
+    r.categoriesPj["dataMem"] =
+        static_cast<double>(p.get("dmemReads")) * params_.dmemReadPj +
+        static_cast<double>(p.get("dmemWrites")) * params_.dmemWritePj +
+        static_cast<double>(p.get("edgeSramReads")) *
+            params_.edgeSramReadPj +
+        static_cast<double>(p.get("edgeSramWrites")) *
+            params_.edgeSramWritePj;
+
+    r.categoriesPj["spadRead"] =
+        static_cast<double>(p.get("spadReads")) * params_.spadReadPj;
+    r.categoriesPj["spadWrite"] =
+        static_cast<double>(p.get("spadWrites")) * params_.spadWritePj;
+
+    r.categoriesPj["controlRouting"] =
+        static_cast<double>(p.get("routerHops")) * params_.routerHopPj +
+        static_cast<double>(p.get("instHops")) * params_.instHopPj +
+        static_cast<double>(p.get("lutLookups")) * params_.lutLookupPj +
+        static_cast<double>(p.get("orchCycles")) * params_.orchCyclePj +
+        static_cast<double>(p.get("bufferSearches")) *
+            params_.bufferSearchPj +
+        static_cast<double>(p.get("stateTransitions")) *
+            params_.stateTransitionPj +
+        static_cast<double>(p.get("regReads") + p.get("regWrites")) *
+            params_.regAccessPj +
+        static_cast<double>(p.get("decodeOps")) * params_.decodeOpPj +
+        static_cast<double>(p.get("crossbarXfers")) *
+            params_.crossbarXferPj +
+        static_cast<double>(p.get("instFetches")) *
+            params_.instFetchPj;
+
+    r.categoriesPj["leakage"] =
+        static_cast<double>(p.peCount) *
+        static_cast<double>(p.cycles) * params_.leakagePerPeCyclePj;
+
+    r.totalPj = 0.0;
+    for (const auto &[_, v] : r.categoriesPj)
+        r.totalPj += v;
+    return r;
+}
+
+} // namespace canon

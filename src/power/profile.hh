@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The architecture-independent execution record: cycles plus named
+ * activity counters. Every simulator/model in this repository (Canon
+ * fabric, systolic array, ZeD, CGRA) produces an ExecutionProfile;
+ * the energy model converts it to joules/watts, and the benches
+ * combine both into the paper's figures.
+ *
+ * Canonical activity keys (all optional; absent = 0):
+ *   laneMacs     INT8 multiply-accumulate lane operations
+ *   aluOps       non-MAC vector ALU lane operations
+ *   dmemReads / dmemWrites     per-PE data memory vector accesses
+ *   spadReads / spadWrites     scratchpad vector accesses
+ *   edgeSramReads / edgeSramWrites  shared edge-SRAM word accesses
+ *   routerHops   circuit-switched NoC vector transfers
+ *   instHops     instruction NoC hops
+ *   lutLookups   orchestrator LUT reads
+ *   orchCycles   orchestrator active cycles
+ *   bufferSearches  associative psum-tag probes
+ *   regReads / regWrites   SIMD register file accesses
+ *   stateTransitions   data-driven FSM transitions (Figure 11)
+ *   decodeOps    sparse-format decode operations (ZeD)
+ *   crossbarXfers  crossbar distribution transfers (ZeD)
+ *   instFetches  per-PE instruction memory fetches (CGRA)
+ *   offchipBytes main-memory traffic in bytes
+ */
+
+#ifndef CANON_POWER_PROFILE_HH
+#define CANON_POWER_PROFILE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace canon
+{
+
+struct ExecutionProfile
+{
+    std::string arch;
+    std::string workload;
+    std::uint64_t cycles = 0;
+    std::uint64_t peCount = 0; //!< for leakage/idle accounting
+    std::map<std::string, std::uint64_t> activity;
+
+    std::uint64_t
+    get(const std::string &key) const
+    {
+        auto it = activity.find(key);
+        return it == activity.end() ? 0 : it->second;
+    }
+
+    void
+    add(const std::string &key, std::uint64_t n)
+    {
+        activity[key] += n;
+    }
+
+    /** Accumulate another profile (multi-pass tiling, model sums). */
+    void
+    accumulate(const ExecutionProfile &o)
+    {
+        cycles += o.cycles;
+        for (const auto &[k, v] : o.activity)
+            activity[k] += v;
+    }
+
+    /** Scale cycles and all activity by a tiling replication factor. */
+    void
+    scale(double f)
+    {
+        cycles = static_cast<std::uint64_t>(
+            static_cast<double>(cycles) * f);
+        for (auto &[k, v] : activity)
+            v = static_cast<std::uint64_t>(static_cast<double>(v) * f);
+    }
+
+    /** Lane-MAC utilization against @p lanes_total lanes. */
+    double
+    utilization(std::uint64_t lanes_total) const
+    {
+        if (cycles == 0 || lanes_total == 0)
+            return 0.0;
+        return static_cast<double>(get("laneMacs")) /
+               (static_cast<double>(cycles) *
+                static_cast<double>(lanes_total));
+    }
+};
+
+} // namespace canon
+
+#endif // CANON_POWER_PROFILE_HH

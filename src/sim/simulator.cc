@@ -1,0 +1,38 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+
+namespace canon
+{
+
+void
+Simulator::step()
+{
+    for (auto *c : components_)
+        c->tickCompute();
+    for (auto *c : components_)
+        c->tickCommit();
+    ++now_;
+}
+
+Cycle
+Simulator::run(const std::function<bool()> &done, Cycle max_cycles)
+{
+    const Cycle start = now_;
+    while (!done()) {
+        panicIf(now_ - start >= max_cycles,
+                "Simulator watchdog: no completion after ",
+                max_cycles, " cycles");
+        step();
+    }
+    return now_ - start;
+}
+
+void
+Simulator::runFor(Cycle cycles)
+{
+    for (Cycle i = 0; i < cycles; ++i)
+        step();
+}
+
+} // namespace canon

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The top-level cycle loop.
+ *
+ * Simulator owns no hardware; models register themselves (or are
+ * registered by their parent) and the loop advances all of them in the
+ * two-phase protocol of clocked.hh. A watchdog bounds runaway
+ * simulations: a mis-programmed FSM that never reaches the done
+ * predicate fails loudly rather than hanging a test.
+ */
+
+#ifndef CANON_SIM_SIMULATOR_HH
+#define CANON_SIM_SIMULATOR_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/clocked.hh"
+
+namespace canon
+{
+
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    /** Register a component; not owned. Order does not affect results. */
+    void add(Clocked *c) { components_.push_back(c); }
+
+    Cycle now() const { return now_; }
+
+    /** Advance exactly one cycle. */
+    void step();
+
+    /**
+     * Run until @p done returns true (checked before each cycle).
+     * @return cycles elapsed in this call.
+     * Panics after @p max_cycles as a watchdog.
+     */
+    Cycle run(const std::function<bool()> &done,
+              Cycle max_cycles = 500'000'000);
+
+    /** Run for a fixed number of cycles. */
+    void runFor(Cycle cycles);
+
+  private:
+    std::vector<Clocked *> components_;
+    Cycle now_ = 0;
+};
+
+} // namespace canon
+
+#endif // CANON_SIM_SIMULATOR_HH

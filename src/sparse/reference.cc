@@ -1,0 +1,71 @@
+#include "sparse/reference.hh"
+
+namespace canon
+{
+namespace reference
+{
+
+WordMatrix
+gemm(const DenseMatrix &a, const DenseMatrix &b)
+{
+    panicIf(a.cols() != b.rows(), "gemm: shape mismatch ", a.rows(), "x",
+            a.cols(), " * ", b.rows(), "x", b.cols());
+    WordMatrix c(a.rows(), b.cols());
+    for (int m = 0; m < a.rows(); ++m) {
+        for (int k = 0; k < a.cols(); ++k) {
+            const Word av = a.at(m, k);
+            if (av == 0)
+                continue;
+            for (int n = 0; n < b.cols(); ++n)
+                c.at(m, n) += av * static_cast<Word>(b.at(k, n));
+        }
+    }
+    return c;
+}
+
+WordMatrix
+spmm(const CsrMatrix &a, const DenseMatrix &b)
+{
+    panicIf(a.cols() != b.rows(), "spmm: shape mismatch ", a.rows(), "x",
+            a.cols(), " * ", b.rows(), "x", b.cols());
+    WordMatrix c(a.rows(), b.cols());
+    const auto &row_ptr = a.rowPtr();
+    const auto &col_idx = a.colIdx();
+    const auto &values = a.values();
+    for (int m = 0; m < a.rows(); ++m) {
+        for (auto i = row_ptr[m]; i < row_ptr[m + 1]; ++i) {
+            const Word av = values[i];
+            const int k = col_idx[i];
+            for (int n = 0; n < b.cols(); ++n)
+                c.at(m, n) += av * static_cast<Word>(b.at(k, n));
+        }
+    }
+    return c;
+}
+
+WordMatrix
+sddmm(const CsrMatrix &mask, const DenseMatrix &a, const DenseMatrix &b)
+{
+    panicIf(a.cols() != b.rows(), "sddmm: inner dim mismatch ", a.cols(),
+            " vs ", b.rows());
+    panicIf(mask.rows() != a.rows() || mask.cols() != b.cols(),
+            "sddmm: mask shape ", mask.rows(), "x", mask.cols(),
+            " does not match output ", a.rows(), "x", b.cols());
+    WordMatrix c(mask.rows(), mask.cols());
+    const auto &row_ptr = mask.rowPtr();
+    const auto &col_idx = mask.colIdx();
+    for (int m = 0; m < mask.rows(); ++m) {
+        for (auto i = row_ptr[m]; i < row_ptr[m + 1]; ++i) {
+            const int n = col_idx[i];
+            Word acc = 0;
+            for (int k = 0; k < a.cols(); ++k)
+                acc += static_cast<Word>(a.at(m, k)) *
+                       static_cast<Word>(b.at(k, n));
+            c.at(m, n) = acc;
+        }
+    }
+    return c;
+}
+
+} // namespace reference
+} // namespace canon

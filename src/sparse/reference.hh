@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Gold-standard reference kernels.
+ *
+ * Every simulated execution in this repository -- Canon, systolic, ZeD,
+ * CGRA -- is checked against these scalar implementations. Arithmetic is
+ * INT8 x INT8 -> INT32 with INT32 accumulation, the exact semantics of
+ * the PE vector lane, so comparisons are bit-exact.
+ */
+
+#ifndef CANON_SPARSE_REFERENCE_HH
+#define CANON_SPARSE_REFERENCE_HH
+
+#include "sparse/matrix.hh"
+
+namespace canon
+{
+namespace reference
+{
+
+/** C = A(MxK) * B(KxN), all dense. */
+WordMatrix gemm(const DenseMatrix &a, const DenseMatrix &b);
+
+/** C = A(MxK, sparse) * B(KxN, dense), Gustavson row formulation. */
+WordMatrix spmm(const CsrMatrix &a, const DenseMatrix &b);
+
+/**
+ * C = mask .* (A(MxK) * B(KxN)): sampled dense-dense matmul. Only
+ * positions live in @p mask are computed; everything else is zero.
+ */
+WordMatrix sddmm(const CsrMatrix &mask, const DenseMatrix &a,
+                 const DenseMatrix &b);
+
+} // namespace reference
+} // namespace canon
+
+#endif // CANON_SPARSE_REFERENCE_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Paper-scale workloads on the Canon cycle simulator.
+ *
+ * The fabric natively executes tiles of shape N = cols*4 (output
+ * columns) with B resident (dense-stationary, Section 6.4). This
+ * runner:
+ *
+ *  - tiles wider problems into column passes (B slice swapped per
+ *    pass, A re-streamed) and pads ragged edges with zeros,
+ *  - for very large shapes simulates a statistically representative
+ *    proxy (full K so per-row-slice populations are authentic; M
+ *    capped; one column pass) and scales cycles/activity by the exact
+ *    replication factor -- valid because passes are i.i.d. and the
+ *    per-row control overheads are M-linear,
+ *  - records the off-chip traffic of the dense-stationary schedule
+ *    for the bandwidth analysis of Figure 16.
+ *
+ * Scaling decisions are recorded in the returned profile's workload
+ * string; tests cross-validate proxy scaling against exact runs on
+ * overlapping sizes.
+ */
+
+#ifndef CANON_WORKLOADS_CANON_RUNNER_HH
+#define CANON_WORKLOADS_CANON_RUNNER_HH
+
+#include "core/fabric.hh"
+#include "kernels/dense_cadence.hh"
+#include "kernels/sddmm.hh"
+#include "kernels/spmm.hh"
+#include "sparse/generate.hh"
+
+namespace canon
+{
+
+struct CanonRunOptions
+{
+    int maxProxyRows = 512;  //!< cap on simulated output rows
+    int maxProxyPasses = 1;  //!< column passes actually simulated
+    bool collectResult = false; //!< keep the (unscaled) output matrix
+};
+
+class CanonRunner
+{
+  public:
+    explicit CanonRunner(const CanonConfig &cfg = CanonConfig::paper())
+        : cfg_(cfg)
+    {
+    }
+
+    const CanonConfig &config() const { return cfg_; }
+
+    /** Exact run of a concrete sparse matrix (shapes must be
+     *  fabric-tileable after zero padding). */
+    ExecutionProfile spmmExact(const CsrMatrix &a, const DenseMatrix &b,
+                               WordMatrix *result_out = nullptr) const;
+
+    /** Synthetic SpMM at (m, k, n) with unstructured @p sparsity. */
+    ExecutionProfile spmmShape(std::int64_t m, std::int64_t k,
+                               std::int64_t n, double sparsity,
+                               std::uint64_t seed,
+                               const CanonRunOptions &opt = {}) const;
+
+    /** Dense GEMM at (m, k, n). */
+    ExecutionProfile gemmShape(std::int64_t m, std::int64_t k,
+                               std::int64_t n, std::uint64_t seed,
+                               const CanonRunOptions &opt = {}) const;
+
+    /** N:M structured SpMM at (m, k, n). */
+    ExecutionProfile nmShape(std::int64_t m, std::int64_t k,
+                             std::int64_t n, int nm_n, int nm_m,
+                             std::uint64_t seed,
+                             const CanonRunOptions &opt = {}) const;
+
+    /** Unstructured SDDMM at (m, k, n) with output @p mask_sparsity. */
+    ExecutionProfile sddmmShape(std::int64_t m, std::int64_t k,
+                                std::int64_t n, double mask_sparsity,
+                                std::uint64_t seed,
+                                const CanonRunOptions &opt = {}) const;
+
+    /** Sliding-window SDDMM (seq x seq scores, band @p window). */
+    ExecutionProfile sddmmWindowShape(std::int64_t seq, std::int64_t k,
+                                      std::int64_t window,
+                                      std::uint64_t seed,
+                                      const CanonRunOptions &opt = {})
+        const;
+
+  private:
+    CanonConfig cfg_;
+};
+
+} // namespace canon
+
+#endif // CANON_WORKLOADS_CANON_RUNNER_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Layer specifications of the real ML models used in Figures 11 and
+ * 14. The paper sparsifies activations (Liu et al. 2024) and
+ * attention (Sanger/ViTCoD-style for unstructured, Longformer /
+ * Mistral sliding-window for structured); here each model is a small
+ * set of representative layers with the published dimensions, and the
+ * sparse tensors themselves are synthesized at matching sparsity
+ * (DESIGN.md, substitution table).
+ */
+
+#ifndef CANON_WORKLOADS_MODELS_HH
+#define CANON_WORKLOADS_MODELS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace canon
+{
+
+enum class LayerKind : std::uint8_t
+{
+    Gemm,     //!< dense GEMM
+    Spmm,     //!< unstructured activation-sparse GEMM
+    SddmmU,   //!< unstructured sparse attention scores
+    SddmmWin, //!< sliding-window attention scores
+};
+
+struct LayerSpec
+{
+    std::string name;
+    LayerKind kind;
+    std::int64_t m, k, n;
+    double sparsity = 0.0;    //!< input (Spmm) or mask (SddmmU)
+    std::int64_t window = 0;  //!< SddmmWin band width
+    double repeats = 1.0;     //!< layer multiplicity in the model
+};
+
+struct ModelSpec
+{
+    std::string name;
+    std::vector<LayerSpec> layers;
+};
+
+/** ResNet-50 conv stages as im2col GEMMs, 50 % activation sparsity. */
+ModelSpec resnet50Conv(double sparsity = 0.5);
+
+/** LLaMA-8B MLP (4096 -> 14336 -> 4096) at seq 512. */
+ModelSpec llama8bMlp(double sparsity);
+
+/** LLaMA-8B attention QK^T scores, unstructured sparsification. */
+ModelSpec llama8bAttn(double sparsity = 0.7);
+
+/** Mistral-7B MLP (4096 -> 14336 -> 4096) at seq 512. */
+ModelSpec mistral7bMlp(double sparsity);
+
+/** Mistral-7B sliding-window attention (window 4096, context 16K). */
+ModelSpec mistral7bAttn();
+
+/** BERT + Longformer window (Win1: window 512, seq 4K). */
+ModelSpec longformerAttn();
+
+} // namespace canon
+
+#endif // CANON_WORKLOADS_MODELS_HH

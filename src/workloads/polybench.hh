@@ -1,0 +1,73 @@
+/**
+ * @file
+ * PolyBenchC kernel descriptors (Section 5: "we map the kernels from
+ * the PolyBenchC benchmark suite", excluding sqrt/exp kernels which
+ * neither Canon nor the CGRA support).
+ *
+ * Each descriptor carries what the two fabrics consume:
+ *  - the innermost loop-body DFG (mapped by the CGRA's
+ *    modulo-scheduling mapper),
+ *  - total innermost iterations at PolyBench MEDIUM-class sizes,
+ *  - the loop-carried recurrence MII,
+ *  - the data-level parallelism (independent iterations available),
+ *  - the fraction of the body that vectorizes by 4 on Canon's SIMD
+ *    lanes, and whether conditional inner loops confine work to
+ *    single PE rows (Section 4.2's DLP-granularity bound).
+ *
+ * Groups mirror the paper's Figure 12 categories: PolyB-BLAS (linear
+ * algebra incl. solvers), PolyB-Kernel, PolyB-Stencil.
+ */
+
+#ifndef CANON_WORKLOADS_POLYBENCH_HH
+#define CANON_WORKLOADS_POLYBENCH_HH
+
+#include <vector>
+
+#include "baselines/cgra.hh"
+#include "core/config.hh"
+#include "power/profile.hh"
+
+namespace canon
+{
+
+enum class PolyGroup : std::uint8_t
+{
+    Blas,
+    Kernel,
+    Stencil,
+};
+
+const char *polyGroupName(PolyGroup g);
+
+struct PolybenchKernel
+{
+    std::string name;
+    PolyGroup group;
+    Dfg body;
+    std::int64_t iters;  //!< total innermost iterations
+    int recMii;          //!< loop-carried recurrence bound
+    std::int64_t dlp;    //!< independent iterations available
+    double vecFraction;  //!< share of the body that is 4-vectorizable
+    bool condInner;      //!< conditional inner loop (row confinement)
+};
+
+/** The evaluated suite (18 kernels across the three groups). */
+std::vector<PolybenchKernel> polybenchSuite();
+
+/**
+ * Canon executing a general affine loop nest (Section 4.2): row-SIMD
+ * mapping with 4-wide lanes; throughput is the tighter of the
+ * compute roofline (discounted by the vectorizable fraction) and the
+ * dependence bound (recurrence MII overlapped across the available
+ * DLP, row-confined for conditional bodies).
+ */
+ExecutionProfile canonPolybench(const PolybenchKernel &k,
+                                const CanonConfig &cfg);
+
+/** CGRA executing the same kernel through the mapper. */
+ExecutionProfile cgraPolybench(const PolybenchKernel &k,
+                               const CgraModel &cgra);
+
+} // namespace canon
+
+#endif // CANON_WORKLOADS_POLYBENCH_HH

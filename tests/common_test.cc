@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the common substrate: logging discipline,
+ * deterministic RNG, bit-slice helpers, statistics tree and the
+ * bench table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace canon
+{
+namespace
+{
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(panic("boom ", 42), PanicError);
+    try {
+        panic("value=", 7);
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("value=7"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(fatal("user error"), FatalError);
+    EXPECT_NO_THROW(fatalIf(false, "not reached"));
+    EXPECT_THROW(fatalIf(true, "reached"), FatalError);
+}
+
+TEST(Logging, PanicIfConditional)
+{
+    EXPECT_NO_THROW(panicIf(false, "fine"));
+    EXPECT_THROW(panicIf(true, "bad"), PanicError);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.nextBounded(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(8);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng r(10);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.nextBool(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, SampleDistinctSorted)
+{
+    Rng r(11);
+    const auto s = r.sample(100, 20);
+    ASSERT_EQ(s.size(), 20u);
+    for (std::size_t i = 1; i < s.size(); ++i)
+        EXPECT_LT(s[i - 1], s[i]);
+}
+
+TEST(Bitfield, MaskAndBits)
+{
+    EXPECT_EQ(mask(3, 0), 0xFull);
+    EXPECT_EQ(mask(7, 4), 0xF0ull);
+    EXPECT_EQ(bits(0xABCD, 15, 12), 0xAull);
+    EXPECT_EQ(bits(0xABCD, 3, 0), 0xDull);
+}
+
+TEST(Bitfield, InsertRoundTrip)
+{
+    std::uint64_t w = 0;
+    w = insertBits(w, 11, 4, 0x5A);
+    EXPECT_EQ(bits(w, 11, 4), 0x5Aull);
+    EXPECT_THROW(insertBits(0, 3, 0, 0x1F), PanicError);
+}
+
+TEST(Bitfield, Helpers)
+{
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(48));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_EQ(divCeil(10, 4), 3u);
+    EXPECT_EQ(divCeil(8, 4), 2u);
+    EXPECT_EQ(bitsFor(1024), 10);
+    EXPECT_EQ(bitsFor(1025), 11);
+}
+
+TEST(Stats, CountersAndSums)
+{
+    StatGroup root("root");
+    auto &c = root.counter("events");
+    ++c;
+    c += 4;
+    EXPECT_EQ(c.value(), 5u);
+
+    auto &child = root.child("pe0");
+    child.counter("events") += 7;
+    EXPECT_EQ(root.sumCounter("events"), 12u);
+}
+
+TEST(Stats, FlattenPaths)
+{
+    StatGroup root("root");
+    root.counter("top") += 1;
+    root.child("a").counter("x") += 2;
+    root.child("a").child("b").counter("y") += 3;
+    const auto flat = root.flatten();
+    EXPECT_EQ(flat.at("top"), 1u);
+    EXPECT_EQ(flat.at("a.x"), 2u);
+    EXPECT_EQ(flat.at("a.b.y"), 3u);
+}
+
+TEST(Stats, ResetAll)
+{
+    StatGroup root("root");
+    root.counter("n") += 9;
+    root.child("c").counter("n") += 9;
+    root.resetAll();
+    EXPECT_EQ(root.sumCounter("n"), 0u);
+}
+
+TEST(Stats, Distribution)
+{
+    StatGroup root("root");
+    auto &d = root.distribution("lat");
+    d.sample(1.0);
+    d.sample(3.0);
+    d.sample(2.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 3.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+}
+
+TEST(Table, FormattingHelpers)
+{
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmtInt(1234567), "1,234,567");
+    EXPECT_EQ(Table::fmtInt(12), "12");
+}
+
+TEST(Table, RowWidthEnforced)
+{
+    Table t("demo");
+    t.header({"a", "b"});
+    EXPECT_NO_THROW(t.addRow({"1", "2"}));
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+} // namespace
+} // namespace canon
