@@ -1,0 +1,168 @@
+#include "cli/driver.hh"
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.hh"
+#include "power/energy.hh"
+
+namespace canon
+{
+namespace cli
+{
+
+namespace
+{
+
+/** Run one workload case across all Section-5 architectures. */
+CaseResult
+runSuiteCase(const Options &opt)
+{
+    ArchSuite suite(opt.fabricConfig());
+    switch (opt.workload) {
+      case Workload::Gemm:
+        return suite.gemm(opt.m, opt.k, opt.n, opt.seed);
+      case Workload::Spmm:
+        return suite.spmm(opt.m, opt.k, opt.n, opt.sparsity, opt.seed);
+      case Workload::SpmmNm:
+        return suite.spmmNm(opt.m, opt.k, opt.n, opt.nmN, opt.nmM,
+                            opt.seed);
+      case Workload::Sddmm:
+        return suite.sddmm(opt.m, opt.k, opt.n, opt.sparsity,
+                           opt.seed);
+      case Workload::SddmmWindow:
+        return suite.sddmmWindow(opt.m, opt.k, opt.window, opt.seed);
+    }
+    return {};
+}
+
+/** Canon-only fast path: skip the baseline models entirely. */
+ExecutionProfile
+runCanonCase(const Options &opt)
+{
+    CanonRunner runner(opt.fabricConfig());
+    switch (opt.workload) {
+      case Workload::Gemm:
+        return runner.gemmShape(opt.m, opt.k, opt.n, opt.seed);
+      case Workload::Spmm:
+        return runner.spmmShape(opt.m, opt.k, opt.n, opt.sparsity,
+                                opt.seed);
+      case Workload::SpmmNm:
+        return runner.nmShape(opt.m, opt.k, opt.n, opt.nmN, opt.nmM,
+                              opt.seed);
+      case Workload::Sddmm:
+        return runner.sddmmShape(opt.m, opt.k, opt.n, opt.sparsity,
+                                 opt.seed);
+      case Workload::SddmmWindow:
+        return runner.sddmmWindowShape(opt.m, opt.k, opt.window,
+                                       opt.seed);
+    }
+    return {};
+}
+
+/** Display order: canon first, then the paper's baseline order. */
+std::vector<std::string>
+orderedArchs(const Options &opt, const CaseResult &cases)
+{
+    std::vector<std::string> out;
+    for (const auto &a : knownArchs()) {
+        bool requested =
+            std::find(opt.archs.begin(), opt.archs.end(), a) !=
+            opt.archs.end();
+        if (requested && cases.count(a))
+            out.push_back(a);
+    }
+    return out;
+}
+
+} // namespace
+
+CaseResult
+runCases(const Options &opt)
+{
+    if (!opt.comparesBaselines()) {
+        CaseResult r;
+        r["canon"] = runCanonCase(opt);
+        return r;
+    }
+    CaseResult all = runSuiteCase(opt);
+    // Keep only what was asked for ("canon" is always computed by the
+    // suite as the normalization reference, but may be filtered out of
+    // the table if it was not requested).
+    CaseResult r;
+    for (const auto &a : opt.archs) {
+        auto it = all.find(a);
+        if (it != all.end())
+            r[a] = it->second;
+    }
+    return r;
+}
+
+Table
+buildStatsTable(const Options &opt, const CaseResult &cases)
+{
+    const CanonConfig cfg = opt.fabricConfig();
+    const EnergyModel energy;
+
+    Table table("canonsim: " + opt.workloadLabel());
+    table.header({"Arch", "Cycles", "Time(us)", "Util%", "LaneMACs",
+                  "StateXitions", "Energy(uJ)", "Power(mW)",
+                  "Perf/Canon"});
+
+    const bool have_canon = cases.count("canon") != 0;
+    const double canon_cycles =
+        have_canon ? static_cast<double>(cases.at("canon").cycles)
+                   : 0.0;
+
+    for (const auto &arch : orderedArchs(opt, cases)) {
+        const ExecutionProfile &p = cases.at(arch);
+        const EnergyReport rep = energy.evaluate(p, cfg.clockGhz);
+
+        std::string perf = "X";
+        if (have_canon && p.cycles > 0)
+            perf = Table::fmt(canon_cycles /
+                              static_cast<double>(p.cycles));
+
+        table.addRow({
+            arch,
+            Table::fmtInt(p.cycles),
+            Table::fmt(rep.seconds() * 1e6, 3),
+            Table::fmt(100.0 * p.utilization(cfg.numMacs()), 1),
+            Table::fmtInt(p.get("laneMacs")),
+            Table::fmtInt(p.get("stateTransitions")),
+            Table::fmt(rep.totalJoules() * 1e6, 3),
+            Table::fmt(rep.watts() * 1e3, 2),
+            perf,
+        });
+    }
+    return table;
+}
+
+int
+runScenario(const Options &opt, std::ostream &err)
+{
+    const CanonConfig cfg = opt.fabricConfig();
+    std::cout << cfg.describe() << "\n\n";
+
+    const CaseResult cases = runCases(opt);
+    if (cases.empty()) {
+        err << "canonsim: no requested architecture can execute '"
+            << opt.workloadLabel() << "'\n";
+        return 1;
+    }
+
+    Table table = buildStatsTable(opt, cases);
+    table.print();
+    if (!opt.csvPath.empty()) {
+        if (!table.writeCsv(opt.csvPath)) {
+            err << "canonsim: cannot write CSV to " << opt.csvPath
+                << "\n";
+            return 1;
+        }
+        std::cout << "\nCSV written to " << opt.csvPath << "\n";
+    }
+    return 0;
+}
+
+} // namespace cli
+} // namespace canon

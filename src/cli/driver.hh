@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The canonsim execution driver: turns validated Options into
+ * simulation runs (Canon cycle simulation through the orchestrators
+ * and the cycle loop, plus the analytical baseline models on request)
+ * and renders one stats table per run.
+ *
+ * The run step is separated from the printing step so tests can make
+ * assertions on the raw profiles.
+ */
+
+#ifndef CANON_CLI_DRIVER_HH
+#define CANON_CLI_DRIVER_HH
+
+#include <iosfwd>
+
+#include "cli/options.hh"
+#include "common/table.hh"
+#include "workloads/suite.hh"
+
+namespace canon
+{
+namespace cli
+{
+
+/**
+ * Run the selected workload on every requested architecture.
+ * Architectures that cannot execute the workload are absent from the
+ * result (the "X" cells of the paper's figures).
+ */
+CaseResult runCases(const Options &opt);
+
+/** Build the per-architecture stats table for a finished run. */
+Table buildStatsTable(const Options &opt, const CaseResult &cases);
+
+/**
+ * Full driver: run, print the fabric description and stats table,
+ * optionally dump CSV. Returns a process exit code (0 on success,
+ * 1 when nothing could run).
+ */
+int runScenario(const Options &opt, std::ostream &err);
+
+} // namespace cli
+} // namespace canon
+
+#endif // CANON_CLI_DRIVER_HH

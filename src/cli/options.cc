@@ -1,0 +1,346 @@
+#include "cli/options.hh"
+
+#include <charconv>
+#include <limits>
+#include <sstream>
+
+namespace canon
+{
+namespace cli
+{
+
+const std::vector<std::string> &
+knownArchs()
+{
+    static const std::vector<std::string> archs = {
+        "canon", "systolic", "systolic24", "zed", "cgra"};
+    return archs;
+}
+
+namespace
+{
+
+bool
+parseWorkload(const std::string &s, Workload &out)
+{
+    if (s == "gemm" || s == "dense") {
+        out = Workload::Gemm;
+    } else if (s == "spmm") {
+        out = Workload::Spmm;
+    } else if (s == "spmm-nm" || s == "nm") {
+        out = Workload::SpmmNm;
+    } else if (s == "sddmm") {
+        out = Workload::Sddmm;
+    } else if (s == "sddmm-window" || s == "window") {
+        out = Workload::SddmmWindow;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+bool
+parseI64(const std::string &s, std::int64_t &out)
+{
+    const char *first = s.data();
+    const char *last = s.data() + s.size();
+    auto [ptr, ec] = std::from_chars(first, last, out);
+    return ec == std::errc() && ptr == last;
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    std::istringstream iss(s);
+    iss >> out;
+    return iss && iss.eof();
+}
+
+} // namespace
+
+CanonConfig
+Options::fabricConfig() const
+{
+    CanonConfig cfg;
+    cfg.rows = rows;
+    cfg.cols = cols;
+    cfg.spadEntries = spadEntries;
+    cfg.dmemSlots = dmemSlots;
+    cfg.clockGhz = clockGhz;
+    return cfg;
+}
+
+std::string
+Options::workloadLabel() const
+{
+    std::ostringstream oss;
+    oss << workloadName(workload) << " " << m << "x" << k << "x" << n;
+    switch (workload) {
+      case Workload::Spmm:
+      case Workload::Sddmm:
+        oss << " s=" << sparsity;
+        break;
+      case Workload::SpmmNm:
+        oss << " " << nmN << ":" << nmM;
+        break;
+      case Workload::SddmmWindow:
+        oss << " w=" << window;
+        break;
+      case Workload::Gemm:
+        break;
+    }
+    return oss.str();
+}
+
+bool
+Options::comparesBaselines() const
+{
+    for (const auto &a : archs)
+        if (a != "canon")
+            return true;
+    return false;
+}
+
+const char *
+workloadName(Workload w)
+{
+    switch (w) {
+      case Workload::Gemm:
+        return "gemm";
+      case Workload::Spmm:
+        return "spmm";
+      case Workload::SpmmNm:
+        return "spmm-nm";
+      case Workload::Sddmm:
+        return "sddmm";
+      case Workload::SddmmWindow:
+        return "sddmm-window";
+    }
+    return "?";
+}
+
+const char *
+usageText()
+{
+    return
+        "canonsim -- unified driver for the Canon orchestration"
+        " simulator\n"
+        "\n"
+        "Usage: canonsim [options]\n"
+        "\n"
+        "Workload selection:\n"
+        "  --workload W      gemm | spmm | spmm-nm | sddmm |"
+        " sddmm-window\n"
+        "                    (default: spmm)\n"
+        "  --m N  --k N  --n N   problem shape (default 256x256x64;\n"
+        "                    sddmm-window uses --m as sequence"
+        " length)\n"
+        "  --sparsity F      input/mask sparsity in [0, 1)"
+        " (default 0.7)\n"
+        "  --nm N:M          structured sparsity pattern"
+        " (default 2:4)\n"
+        "  --window N        sliding-window band width (default 64)\n"
+        "  --seed N          RNG seed (default 1)\n"
+        "\n"
+        "Fabric configuration:\n"
+        "  --rows N          PE rows / orchestrators (default 8)\n"
+        "  --cols N          PE columns (default 8)\n"
+        "  --spad N          scratchpad depth in psum entries"
+        " (default 16)\n"
+        "  --dmem N          data-memory Vec4 slots per PE"
+        " (default 1024)\n"
+        "  --clock-ghz F     clock for power reporting"
+        " (default 1.0)\n"
+        "\n"
+        "Execution mode:\n"
+        "  --arch A[,A...]   canon | systolic | systolic24 | zed |"
+        " cgra | all\n"
+        "                    (default: canon; baselines enable the\n"
+        "                    orchestrator-vs-baseline comparison)\n"
+        "\n"
+        "Output:\n"
+        "  --csv PATH        also write the stats table as CSV\n"
+        "  --list            list workloads and exit\n"
+        "  --help            show this text and exit\n";
+}
+
+std::string
+workloadListText()
+{
+    std::ostringstream oss;
+    oss << "gemm          dense GEMM (dense-cadence kernel);"
+           " uses --m --k --n\n"
+        << "spmm          unstructured SpMM; adds --sparsity\n"
+        << "spmm-nm       N:M structured SpMM; adds --nm\n"
+        << "sddmm         unstructured SDDMM; --sparsity is the"
+           " output mask\n"
+        << "sddmm-window  sliding-window SDDMM; --m is the sequence"
+           " length,\n"
+        << "              --window the band width (--n ignored)\n";
+    return oss.str();
+}
+
+ParseResult
+parseArgs(const std::vector<std::string> &args)
+{
+    ParseResult res;
+    Options &opt = res.options;
+
+    auto fail = [&res](const std::string &msg) {
+        res.ok = false;
+        res.error = msg;
+        return res;
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        std::string key = args[i];
+        std::string value;
+        bool have_value = false;
+
+        if (auto eq = key.find('='); eq != std::string::npos) {
+            value = key.substr(eq + 1);
+            key = key.substr(0, eq);
+            have_value = true;
+        }
+
+        if (key == "--help" || key == "-h") {
+            opt.showHelp = true;
+            continue;
+        }
+        if (key == "--list") {
+            opt.listWorkloads = true;
+            continue;
+        }
+
+        // Everything else takes a value.
+        if (!have_value) {
+            if (i + 1 >= args.size())
+                return fail("option '" + key + "' expects a value");
+            value = args[++i];
+        }
+
+        auto intArg = [&](std::int64_t &out, std::int64_t lo,
+                          std::int64_t hi) -> bool {
+            std::int64_t v = 0;
+            if (!parseI64(value, v) || v < lo || v > hi) {
+                fail("option '" + key + "' expects an integer in [" +
+                     std::to_string(lo) + ", " + std::to_string(hi) +
+                     "], got '" + value + "'");
+                return false;
+            }
+            out = v;
+            return true;
+        };
+        auto smallIntArg = [&](int &out, std::int64_t lo,
+                               std::int64_t hi) -> bool {
+            std::int64_t v = 0;
+            if (!intArg(v, lo, hi))
+                return false;
+            out = static_cast<int>(v);
+            return true;
+        };
+
+        if (key == "--workload") {
+            if (!parseWorkload(value, opt.workload))
+                return fail("unknown workload '" + value +
+                            "' (try --list)");
+        } else if (key == "--m") {
+            if (!intArg(opt.m, 1, 1'000'000'000))
+                return res;
+        } else if (key == "--k") {
+            if (!intArg(opt.k, 1, 1'000'000'000))
+                return res;
+        } else if (key == "--n") {
+            if (!intArg(opt.n, 1, 1'000'000'000))
+                return res;
+        } else if (key == "--window") {
+            if (!intArg(opt.window, 1, 1'000'000'000))
+                return res;
+        } else if (key == "--seed") {
+            std::int64_t v = 0;
+            if (!intArg(v, 0, std::numeric_limits<std::int64_t>::max()))
+                return res;
+            opt.seed = static_cast<std::uint64_t>(v);
+        } else if (key == "--sparsity") {
+            double v = 0.0;
+            // The negated-range form also rejects NaN.
+            if (!parseDouble(value, v) || !(v >= 0.0 && v < 1.0))
+                return fail("option '--sparsity' expects a number in"
+                            " [0, 1), got '" + value + "'");
+            opt.sparsity = v;
+        } else if (key == "--nm") {
+            auto colon = value.find(':');
+            std::int64_t nm_n = 0, nm_m = 0;
+            if (colon == std::string::npos ||
+                !parseI64(value.substr(0, colon), nm_n) ||
+                !parseI64(value.substr(colon + 1), nm_m) ||
+                nm_n < 1 || nm_m < 2 || nm_n > nm_m || nm_m > 64)
+                return fail("option '--nm' expects N:M with"
+                            " 1 <= N <= M <= 64, got '" + value + "'");
+            opt.nmN = static_cast<int>(nm_n);
+            opt.nmM = static_cast<int>(nm_m);
+        } else if (key == "--rows") {
+            if (!smallIntArg(opt.rows, 1, 1024))
+                return res;
+        } else if (key == "--cols") {
+            if (!smallIntArg(opt.cols, 1, 1024))
+                return res;
+        } else if (key == "--spad") {
+            if (!smallIntArg(opt.spadEntries, 1, 65536))
+                return res;
+        } else if (key == "--dmem") {
+            if (!smallIntArg(opt.dmemSlots, 1, 1 << 26))
+                return res;
+        } else if (key == "--clock-ghz") {
+            double v = 0.0;
+            if (!parseDouble(value, v) || !(v > 0.0 && v <= 100.0))
+                return fail("option '--clock-ghz' expects a number in"
+                            " (0, 100], got '" + value + "'");
+            opt.clockGhz = v;
+        } else if (key == "--arch") {
+            opt.archs.clear();
+            std::string rest = value;
+            while (!rest.empty()) {
+                auto comma = rest.find(',');
+                std::string a = rest.substr(0, comma);
+                rest = comma == std::string::npos
+                           ? ""
+                           : rest.substr(comma + 1);
+                if (a == "all") {
+                    opt.archs = knownArchs();
+                    continue;
+                }
+                bool known = false;
+                for (const auto &k : knownArchs())
+                    known = known || k == a;
+                if (!known) {
+                    std::string names;
+                    for (const auto &k : knownArchs())
+                        names += k + ", ";
+                    return fail("unknown architecture '" + a + "' (" +
+                                names + "all)");
+                }
+                opt.archs.push_back(a);
+            }
+            if (opt.archs.empty())
+                return fail("option '--arch' expects at least one"
+                            " architecture");
+        } else if (key == "--csv") {
+            if (value.empty())
+                return fail("option '--csv' expects a path");
+            opt.csvPath = value;
+        } else {
+            return fail("unknown option '" + key + "' (see --help)");
+        }
+    }
+
+    if (opt.archs.empty())
+        opt.archs.push_back("canon");
+
+    return res;
+}
+
+} // namespace cli
+} // namespace canon

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Command-line options for the canonsim driver.
+ *
+ * Parsing is a pure function from an argument vector to either a
+ * validated Options value or an error string, so tests can exercise
+ * every rejection path without spawning a process. Both "--key value"
+ * and "--key=value" spellings are accepted.
+ */
+
+#ifndef CANON_CLI_OPTIONS_HH
+#define CANON_CLI_OPTIONS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+
+namespace canon
+{
+namespace cli
+{
+
+enum class Workload : std::uint8_t
+{
+    Gemm,        //!< dense GEMM via the dense-cadence kernel
+    Spmm,        //!< unstructured-sparse x dense
+    SpmmNm,      //!< N:M structured-sparse x dense
+    Sddmm,       //!< unstructured sampled dense-dense
+    SddmmWindow, //!< sliding-window sampled dense-dense
+};
+
+struct Options
+{
+    Workload workload = Workload::Spmm;
+
+    // Problem shape.
+    std::int64_t m = 256;
+    std::int64_t k = 256;
+    std::int64_t n = 64;
+    double sparsity = 0.7;   //!< input (spmm) or mask (sddmm) sparsity
+    int nmN = 2;             //!< N of N:M structured sparsity
+    int nmM = 4;             //!< M of N:M structured sparsity
+    std::int64_t window = 64; //!< sddmm-window band width
+    std::uint64_t seed = 1;
+
+    // Fabric configuration.
+    int rows = 8;
+    int cols = 8;
+    int spadEntries = 16;
+    int dmemSlots = 1024;
+    double clockGhz = 1.0;
+
+    /** Architectures to run; empty means Canon only. */
+    std::vector<std::string> archs;
+
+    std::string csvPath; //!< also dump the stats table as CSV
+    bool showHelp = false;
+    bool listWorkloads = false;
+
+    CanonConfig fabricConfig() const;
+
+    /** "spmm 256x256x64 s=0.70" style label for tables/profiles. */
+    std::string workloadLabel() const;
+
+    /** True when any architecture besides canon was requested. */
+    bool comparesBaselines() const;
+};
+
+struct ParseResult
+{
+    Options options;
+    bool ok = true;
+    std::string error;
+};
+
+/** Parse argv[1..]; never exits, never prints. */
+ParseResult parseArgs(const std::vector<std::string> &args);
+
+/** The --help text. */
+const char *usageText();
+
+/** The --list text: one line per workload with its shape options. */
+std::string workloadListText();
+
+/** Canonical name of a Workload ("spmm", "sddmm-window", ...). */
+const char *workloadName(Workload w);
+
+/** Every runnable architecture, in the paper's display order. */
+const std::vector<std::string> &knownArchs();
+
+} // namespace cli
+} // namespace canon
+
+#endif // CANON_CLI_OPTIONS_HH

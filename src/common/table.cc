@@ -79,22 +79,38 @@ Table::print() const
     std::cout << std::flush;
 }
 
-void
+bool
 Table::writeCsv(const std::string &path) const
 {
     std::ofstream f(path);
     if (!f) {
         warn("Table '", title_, "': cannot open ", path, " for CSV output");
-        return;
+        return false;
     }
+    // RFC-4180 quoting: thousands-separated integers (fmtInt) would
+    // otherwise split into multiple CSV fields.
+    auto escape = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string out = "\"";
+        for (char ch : cell) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
     auto write_row = [&](const std::vector<std::string> &row) {
         for (std::size_t c = 0; c < row.size(); ++c)
-            f << (c ? "," : "") << row[c];
+            f << (c ? "," : "") << escape(row[c]);
         f << "\n";
     };
     write_row(header_);
     for (const auto &row : rows_)
         write_row(row);
+    f.flush();
+    return f.good();
 }
 
 } // namespace canon

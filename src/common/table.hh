@@ -36,8 +36,8 @@ class Table
     /** Render the aligned table to stdout. */
     void print() const;
 
-    /** Write the table as CSV to @p path. */
-    void writeCsv(const std::string &path) const;
+    /** Write the table as CSV to @p path; false if it can't open. */
+    bool writeCsv(const std::string &path) const;
 
   private:
     std::string title_;

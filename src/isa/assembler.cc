@@ -150,9 +150,11 @@ assembleInstruction(const std::string &text)
     // Optional route list and hold flag.
     for (; pos < tokens.size(); ++pos) {
         auto tok = upper(tokens[pos]);
-        // Strip brackets that survived tokenization.
-        std::erase(tok, '[');
-        std::erase(tok, ']');
+        // Strip brackets that survived tokenization. Uses the
+        // erase-remove idiom rather than C++20 std::erase so the file
+        // also survives C++17 toolchain probes.
+        tok.erase(std::remove(tok.begin(), tok.end(), '['), tok.end());
+        tok.erase(std::remove(tok.begin(), tok.end(), ']'), tok.end());
         if (tok.empty())
             continue;
         if (tok == "N>S")
