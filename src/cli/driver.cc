@@ -1,10 +1,12 @@
 #include "cli/driver.hh"
 
-#include <algorithm>
-#include <iostream>
+#include <ostream>
 
 #include "common/table.hh"
-#include "power/energy.hh"
+#include "runner/aggregate.hh"
+#include "runner/pool.hh"
+#include "runner/sweep.hh"
+#include "workloads/models.hh"
 
 namespace canon
 {
@@ -14,11 +16,16 @@ namespace cli
 namespace
 {
 
-/** Run one workload case across all Section-5 architectures. */
+/** Run one workload case across the requested architectures. */
 CaseResult
 runSuiteCase(const Options &opt)
 {
-    ArchSuite suite(opt.fabricConfig());
+    ArchSuite suite(opt.fabricConfig(), opt.archs);
+    if (!opt.model.empty())
+        return suite.model(opt.sparsitySet
+                               ? modelByName(opt.model, opt.sparsity)
+                               : modelByName(opt.model),
+                           opt.seed);
     switch (opt.workload) {
       case Workload::Gemm:
         return suite.gemm(opt.m, opt.k, opt.n, opt.seed);
@@ -36,61 +43,20 @@ runSuiteCase(const Options &opt)
     return {};
 }
 
-/** Canon-only fast path: skip the baseline models entirely. */
-ExecutionProfile
-runCanonCase(const Options &opt)
-{
-    CanonRunner runner(opt.fabricConfig());
-    switch (opt.workload) {
-      case Workload::Gemm:
-        return runner.gemmShape(opt.m, opt.k, opt.n, opt.seed);
-      case Workload::Spmm:
-        return runner.spmmShape(opt.m, opt.k, opt.n, opt.sparsity,
-                                opt.seed);
-      case Workload::SpmmNm:
-        return runner.nmShape(opt.m, opt.k, opt.n, opt.nmN, opt.nmM,
-                              opt.seed);
-      case Workload::Sddmm:
-        return runner.sddmmShape(opt.m, opt.k, opt.n, opt.sparsity,
-                                 opt.seed);
-      case Workload::SddmmWindow:
-        return runner.sddmmWindowShape(opt.m, opt.k, opt.window,
-                                       opt.seed);
-    }
-    return {};
-}
-
-/** Display order: canon first, then the paper's baseline order. */
-std::vector<std::string>
-orderedArchs(const Options &opt, const CaseResult &cases)
-{
-    std::vector<std::string> out;
-    for (const auto &a : knownArchs()) {
-        bool requested =
-            std::find(opt.archs.begin(), opt.archs.end(), a) !=
-            opt.archs.end();
-        if (requested && cases.count(a))
-            out.push_back(a);
-    }
-    return out;
-}
-
 } // namespace
 
 CaseResult
 runCases(const Options &opt)
 {
-    if (!opt.comparesBaselines()) {
-        CaseResult r;
-        r["canon"] = runCanonCase(opt);
-        return r;
-    }
-    CaseResult all = runSuiteCase(opt);
-    // Keep only what was asked for ("canon" is always computed by the
-    // suite as the normalization reference, but may be filtered out of
-    // the table if it was not requested).
+    // ArchSuite only simulates the selected architectures, so the
+    // canon-only run needs no separate fast path; the filter below
+    // just pins the result to exactly what was asked for.
+    Options o = opt;
+    if (o.archs.empty()) // Options contract: empty means canon only
+        o.archs.push_back("canon");
+    CaseResult all = runSuiteCase(o);
     CaseResult r;
-    for (const auto &a : opt.archs) {
+    for (const auto &a : o.archs) {
         auto it = all.find(a);
         if (it != all.end())
             r[a] = it->second;
@@ -102,66 +68,138 @@ Table
 buildStatsTable(const Options &opt, const CaseResult &cases)
 {
     const CanonConfig cfg = opt.fabricConfig();
-    const EnergyModel energy;
 
     Table table("canonsim: " + opt.workloadLabel());
-    table.header({"Arch", "Cycles", "Time(us)", "Util%", "LaneMACs",
-                  "StateXitions", "Energy(uJ)", "Power(mW)",
-                  "Perf/Canon"});
+    std::vector<std::string> header = {"Arch"};
+    for (const auto &col : runner::statsHeader())
+        header.push_back(col);
+    table.header(std::move(header));
 
     const bool have_canon = cases.count("canon") != 0;
     const double canon_cycles =
         have_canon ? static_cast<double>(cases.at("canon").cycles)
                    : 0.0;
 
-    for (const auto &arch : orderedArchs(opt, cases)) {
-        const ExecutionProfile &p = cases.at(arch);
-        const EnergyReport rep = energy.evaluate(p, cfg.clockGhz);
-
-        std::string perf = "X";
-        if (have_canon && p.cycles > 0)
-            perf = Table::fmt(canon_cycles /
-                              static_cast<double>(p.cycles));
-
-        table.addRow({
-            arch,
-            Table::fmtInt(p.cycles),
-            Table::fmt(rep.seconds() * 1e6, 3),
-            Table::fmt(100.0 * p.utilization(cfg.numMacs()), 1),
-            Table::fmtInt(p.get("laneMacs")),
-            Table::fmtInt(p.get("stateTransitions")),
-            Table::fmt(rep.totalJoules() * 1e6, 3),
-            Table::fmt(rep.watts() * 1e3, 2),
-            perf,
-        });
+    for (const auto &arch : runner::orderedArchs(opt, cases)) {
+        std::vector<std::string> row = {arch};
+        for (auto &cell : runner::statsCells(cfg, cases.at(arch),
+                                             canon_cycles))
+            row.push_back(std::move(cell));
+        table.addRow(std::move(row));
     }
     return table;
 }
 
-int
-runScenario(const Options &opt, std::ostream &err)
+namespace
 {
-    const CanonConfig cfg = opt.fabricConfig();
-    std::cout << cfg.describe() << "\n\n";
 
-    const CaseResult cases = runCases(opt);
-    if (cases.empty()) {
-        err << "canonsim: no requested architecture can execute '"
-            << opt.workloadLabel() << "'\n";
+/** Render the classic single-scenario report (the no-axis sweep). */
+int
+renderSingle(const Options &opt, const runner::ScenarioResult &result,
+             std::ostream &out, std::ostream &err)
+{
+    out << opt.fabricConfig().describe() << "\n\n";
+
+    if (!result.error.empty()) {
+        if (result.error == runner::kNoArchError)
+            err << "canonsim: no requested architecture can execute '"
+                << opt.workloadLabel() << "'\n";
+        else
+            err << "canonsim: " << result.error << "\n";
         return 1;
     }
 
-    Table table = buildStatsTable(opt, cases);
-    table.print();
+    Table table = buildStatsTable(opt, result.cases);
+    table.print(out);
     if (!opt.csvPath.empty()) {
         if (!table.writeCsv(opt.csvPath)) {
             err << "canonsim: cannot write CSV to " << opt.csvPath
                 << "\n";
             return 1;
         }
-        std::cout << "\nCSV written to " << opt.csvPath << "\n";
+        out << "\nCSV written to " << opt.csvPath << "\n";
     }
     return 0;
+}
+
+/** Render the combined sweep report. */
+int
+renderSweep(const Options &opt,
+            std::vector<runner::ScenarioResult> results,
+            std::ostream &out, std::ostream &err)
+{
+    const std::size_t count = results.size();
+    runner::SweepResult sweep(std::move(results));
+
+    // Deliberately silent about --jobs: sweep output must be
+    // byte-identical no matter how many workers executed it.
+    out << "canonsim sweep: " << count << " scenario"
+        << (count == 1 ? "" : "s") << "\n";
+
+    Table table = sweep.table();
+    table.print(out);
+
+    for (const auto &r : sweep.scenarios())
+        if (!r.error.empty())
+            err << "canonsim: scenario '" << r.job.point
+                << "' failed: " << r.error << "\n";
+
+    if (!opt.csvPath.empty()) {
+        if (!table.writeCsv(opt.csvPath)) {
+            err << "canonsim: cannot write CSV to " << opt.csvPath
+                << "\n";
+            return 1;
+        }
+        out << "\nCSV written to " << opt.csvPath << "\n";
+    }
+    return sweep.failureCount() == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+runScenario(const Options &opt, std::ostream &out, std::ostream &err)
+{
+    runner::SweepSpec spec;
+    if (std::string serr = runner::makeSweepSpec(opt.sweepAxes, spec);
+        !serr.empty()) {
+        // Same shape as main.cc's parse failure: error, blank line,
+        // usage, exit 2.
+        err << "canonsim: " << serr << "\n\n" << usageText();
+        return 2;
+    }
+
+    // Model runs ignore the shape options, so sweeping a shape axis
+    // while every scenario runs a model would silently produce N
+    // identical rows. Shape axes are only meaningful when some
+    // scenario is a shape scenario: either no model is in play, or
+    // the 'model' axis itself includes 'none'.
+    const bool has_shape_points = spec.hasAxis("model")
+                                      ? spec.axisHasValue("model",
+                                                          "none")
+                                      : opt.model.empty();
+    if (!has_shape_points) {
+        for (const char *shape :
+             {"workload", "m", "k", "n", "window", "nm"}) {
+            if (spec.hasAxis(shape)) {
+                err << "canonsim: sweep axis '" << shape
+                    << "' has no effect when every scenario runs a"
+                       " model (include 'none' in the model axis to"
+                       " mix model and shape scenarios)\n\n"
+                    << usageText();
+                return 2;
+            }
+        }
+    }
+
+    const std::vector<runner::SweepJob> jobs = spec.expand(opt);
+    runner::ScenarioPool pool(opt.jobs);
+    std::vector<runner::ScenarioResult> results =
+        pool.run(jobs, [](const Options &o) { return runCases(o); });
+
+    if (opt.sweepAxes.empty())
+        return renderSingle(opt, results.front(), out, err);
+    return renderSweep(opt, std::move(results), out, err);
 }
 
 } // namespace cli

@@ -3,10 +3,14 @@
  * The canonsim execution driver: turns validated Options into
  * simulation runs (Canon cycle simulation through the orchestrators
  * and the cycle loop, plus the analytical baseline models on request)
- * and renders one stats table per run.
+ * and renders the stats tables.
  *
- * The run step is separated from the printing step so tests can make
- * assertions on the raw profiles.
+ * Every invocation is a sweep: the --sweep axes expand into a job
+ * list (the cartesian product; no axes means one job) that a
+ * runner::ScenarioPool executes across --jobs worker threads. The
+ * run step is separated from the printing step, and all output goes
+ * through caller-supplied streams, so tests can make assertions on
+ * both the raw profiles and the rendered text.
  */
 
 #ifndef CANON_CLI_DRIVER_HH
@@ -24,9 +28,11 @@ namespace cli
 {
 
 /**
- * Run the selected workload on every requested architecture.
- * Architectures that cannot execute the workload are absent from the
- * result (the "X" cells of the paper's figures).
+ * Run the selected workload (or whole model, when --model is set) on
+ * every requested architecture. Only the requested architectures are
+ * simulated -- a baselines-only run skips the Canon cycle simulation
+ * entirely. Architectures that cannot execute the workload are
+ * absent from the result (the "X" cells of the paper's figures).
  */
 CaseResult runCases(const Options &opt);
 
@@ -34,11 +40,14 @@ CaseResult runCases(const Options &opt);
 Table buildStatsTable(const Options &opt, const CaseResult &cases);
 
 /**
- * Full driver: run, print the fabric description and stats table,
- * optionally dump CSV. Returns a process exit code (0 on success,
- * 1 when nothing could run).
+ * Full driver: expand the sweep (a plain run is the one-job
+ * degenerate case), execute it on the worker pool, print the stats
+ * table(s) to @p out, optionally dump CSV. Returns a process exit
+ * code: 0 on success, 1 when a scenario could not run, 2 for a
+ * malformed sweep axis.
  */
-int runScenario(const Options &opt, std::ostream &err);
+int runScenario(const Options &opt, std::ostream &out,
+                std::ostream &err);
 
 } // namespace cli
 } // namespace canon

@@ -30,5 +30,5 @@ main(int argc, char **argv)
         std::cout << workloadListText();
         return 0;
     }
-    return runScenario(parsed.options, std::cerr);
+    return runScenario(parsed.options, std::cout, std::cerr);
 }

@@ -4,6 +4,8 @@
 #include <limits>
 #include <sstream>
 
+#include "workloads/models.hh"
+
 namespace canon
 {
 namespace cli
@@ -60,6 +62,108 @@ parseDouble(const std::string &s, double &out)
 
 } // namespace
 
+std::string
+applyScenarioOption(Options &opt, const std::string &key,
+                    const std::string &value)
+{
+    auto intArg = [&](std::int64_t &out, std::int64_t lo,
+                      std::int64_t hi) -> std::string {
+        std::int64_t v = 0;
+        if (!parseI64(value, v) || v < lo || v > hi)
+            return "option '--" + key + "' expects an integer in [" +
+                   std::to_string(lo) + ", " + std::to_string(hi) +
+                   "], got '" + value + "'";
+        out = v;
+        return {};
+    };
+    auto smallIntArg = [&](int &out, std::int64_t lo,
+                           std::int64_t hi) -> std::string {
+        std::int64_t v = 0;
+        std::string err = intArg(v, lo, hi);
+        if (err.empty())
+            out = static_cast<int>(v);
+        return err;
+    };
+
+    if (key == "workload") {
+        if (!parseWorkload(value, opt.workload))
+            return "unknown workload '" + value + "' (try --list)";
+        return {};
+    }
+    if (key == "model") {
+        if (value == "none") { // let a sweep axis restore shape mode
+            opt.model.clear();
+            return {};
+        }
+        for (const auto &name : knownModelNames()) {
+            if (name == value) {
+                opt.model = value;
+                return {};
+            }
+        }
+        std::string names;
+        for (const auto &name : knownModelNames())
+            names += name + ", ";
+        return "unknown model '" + value + "' (" + names + "none)";
+    }
+    if (key == "m")
+        return intArg(opt.m, 1, 1'000'000'000);
+    if (key == "k")
+        return intArg(opt.k, 1, 1'000'000'000);
+    if (key == "n")
+        return intArg(opt.n, 1, 1'000'000'000);
+    if (key == "window")
+        return intArg(opt.window, 1, 1'000'000'000);
+    if (key == "seed") {
+        std::int64_t v = 0;
+        std::string err =
+            intArg(v, 0, std::numeric_limits<std::int64_t>::max());
+        if (err.empty())
+            opt.seed = static_cast<std::uint64_t>(v);
+        return err;
+    }
+    if (key == "sparsity") {
+        double v = 0.0;
+        // The negated-range form also rejects NaN.
+        if (!parseDouble(value, v) || !(v >= 0.0 && v < 1.0))
+            return "option '--sparsity' expects a number in [0, 1),"
+                   " got '" + value + "'";
+        opt.sparsity = v;
+        opt.sparsitySet = true;
+        return {};
+    }
+    if (key == "nm") {
+        auto colon = value.find(':');
+        std::int64_t nm_n = 0, nm_m = 0;
+        if (colon == std::string::npos ||
+            !parseI64(value.substr(0, colon), nm_n) ||
+            !parseI64(value.substr(colon + 1), nm_m) || nm_n < 1 ||
+            nm_m < 2 || nm_n > nm_m || nm_m > 64)
+            return "option '--nm' expects N:M with"
+                   " 1 <= N <= M <= 64, got '" + value + "'";
+        opt.nmN = static_cast<int>(nm_n);
+        opt.nmM = static_cast<int>(nm_m);
+        return {};
+    }
+    if (key == "rows")
+        return smallIntArg(opt.rows, 1, 1024);
+    if (key == "cols")
+        return smallIntArg(opt.cols, 1, 1024);
+    if (key == "spad")
+        return smallIntArg(opt.spadEntries, 1, 65536);
+    if (key == "dmem")
+        return smallIntArg(opt.dmemSlots, 1, 1 << 26);
+    if (key == "clock-ghz") {
+        double v = 0.0;
+        if (!parseDouble(value, v) || !(v > 0.0 && v <= 100.0))
+            return "option '--clock-ghz' expects a number in"
+                   " (0, 100], got '" + value + "'";
+        opt.clockGhz = v;
+        return {};
+    }
+    return "unknown option '--" + key + "' (see --help)";
+}
+
 CanonConfig
 Options::fabricConfig() const
 {
@@ -75,6 +179,8 @@ Options::fabricConfig() const
 std::string
 Options::workloadLabel() const
 {
+    if (!model.empty())
+        return model + " model";
     std::ostringstream oss;
     oss << workloadName(workload) << " " << m << "x" << k << "x" << n;
     switch (workload) {
@@ -92,15 +198,6 @@ Options::workloadLabel() const
         break;
     }
     return oss.str();
-}
-
-bool
-Options::comparesBaselines() const
-{
-    for (const auto &a : archs)
-        if (a != "canon")
-            return true;
-    return false;
 }
 
 const char *
@@ -124,7 +221,10 @@ workloadName(Workload w)
 const char *
 usageText()
 {
-    return
+    // The model menu is derived from knownModelNames() so the help
+    // text cannot drift from the registry; the assembled text is
+    // cached because callers expect a stable const char *.
+    static const std::string text = std::string(
         "canonsim -- unified driver for the Canon orchestration"
         " simulator\n"
         "\n"
@@ -134,6 +234,17 @@ usageText()
         "  --workload W      gemm | spmm | spmm-nm | sddmm |"
         " sddmm-window\n"
         "                    (default: spmm)\n"
+        "  --model M         run a whole model instead of one shape\n"
+        "                    (" + []() {
+                                  std::string names;
+                                  for (const auto &n :
+                                       knownModelNames())
+                                      names += n + " | ";
+                                  return names;
+                              }() + "none;\n"
+        "                    --sparsity overrides the canonical\n"
+        "                    sparsity of the sparse-layer models;\n"
+        "                    window-attention models ignore it)\n"
         "  --m N  --k N  --n N   problem shape (default 256x256x64;\n"
         "                    sddmm-window uses --m as sequence"
         " length)\n"
@@ -160,10 +271,20 @@ usageText()
         "                    (default: canon; baselines enable the\n"
         "                    orchestrator-vs-baseline comparison)\n"
         "\n"
+        "Sweep mode:\n"
+        "  --sweep K=V,V,... sweep option K over the listed values;\n"
+        "                    repeatable, axes combine as a cartesian\n"
+        "                    product (any workload/fabric key above:\n"
+        "                    sparsity, rows, m, model, ...)\n"
+        "  --jobs N          worker threads for sweep execution\n"
+        "                    (default 1; results are deterministic\n"
+        "                    regardless of N)\n"
+        "\n"
         "Output:\n"
         "  --csv PATH        also write the stats table as CSV\n"
         "  --list            list workloads and exit\n"
-        "  --help            show this text and exit\n";
+        "  --help            show this text and exit\n");
+    return text.c_str();
 }
 
 std::string
@@ -178,7 +299,11 @@ workloadListText()
            " output mask\n"
         << "sddmm-window  sliding-window SDDMM; --m is the sequence"
            " length,\n"
-        << "              --window the band width (--n ignored)\n";
+        << "              --window the band width (--n ignored)\n"
+        << "\nModels (--model, Figure 14):";
+    for (const auto &name : knownModelNames())
+        oss << " " << name;
+    oss << "\n";
     return oss.str();
 }
 
@@ -221,85 +346,7 @@ parseArgs(const std::vector<std::string> &args)
             value = args[++i];
         }
 
-        auto intArg = [&](std::int64_t &out, std::int64_t lo,
-                          std::int64_t hi) -> bool {
-            std::int64_t v = 0;
-            if (!parseI64(value, v) || v < lo || v > hi) {
-                fail("option '" + key + "' expects an integer in [" +
-                     std::to_string(lo) + ", " + std::to_string(hi) +
-                     "], got '" + value + "'");
-                return false;
-            }
-            out = v;
-            return true;
-        };
-        auto smallIntArg = [&](int &out, std::int64_t lo,
-                               std::int64_t hi) -> bool {
-            std::int64_t v = 0;
-            if (!intArg(v, lo, hi))
-                return false;
-            out = static_cast<int>(v);
-            return true;
-        };
-
-        if (key == "--workload") {
-            if (!parseWorkload(value, opt.workload))
-                return fail("unknown workload '" + value +
-                            "' (try --list)");
-        } else if (key == "--m") {
-            if (!intArg(opt.m, 1, 1'000'000'000))
-                return res;
-        } else if (key == "--k") {
-            if (!intArg(opt.k, 1, 1'000'000'000))
-                return res;
-        } else if (key == "--n") {
-            if (!intArg(opt.n, 1, 1'000'000'000))
-                return res;
-        } else if (key == "--window") {
-            if (!intArg(opt.window, 1, 1'000'000'000))
-                return res;
-        } else if (key == "--seed") {
-            std::int64_t v = 0;
-            if (!intArg(v, 0, std::numeric_limits<std::int64_t>::max()))
-                return res;
-            opt.seed = static_cast<std::uint64_t>(v);
-        } else if (key == "--sparsity") {
-            double v = 0.0;
-            // The negated-range form also rejects NaN.
-            if (!parseDouble(value, v) || !(v >= 0.0 && v < 1.0))
-                return fail("option '--sparsity' expects a number in"
-                            " [0, 1), got '" + value + "'");
-            opt.sparsity = v;
-        } else if (key == "--nm") {
-            auto colon = value.find(':');
-            std::int64_t nm_n = 0, nm_m = 0;
-            if (colon == std::string::npos ||
-                !parseI64(value.substr(0, colon), nm_n) ||
-                !parseI64(value.substr(colon + 1), nm_m) ||
-                nm_n < 1 || nm_m < 2 || nm_n > nm_m || nm_m > 64)
-                return fail("option '--nm' expects N:M with"
-                            " 1 <= N <= M <= 64, got '" + value + "'");
-            opt.nmN = static_cast<int>(nm_n);
-            opt.nmM = static_cast<int>(nm_m);
-        } else if (key == "--rows") {
-            if (!smallIntArg(opt.rows, 1, 1024))
-                return res;
-        } else if (key == "--cols") {
-            if (!smallIntArg(opt.cols, 1, 1024))
-                return res;
-        } else if (key == "--spad") {
-            if (!smallIntArg(opt.spadEntries, 1, 65536))
-                return res;
-        } else if (key == "--dmem") {
-            if (!smallIntArg(opt.dmemSlots, 1, 1 << 26))
-                return res;
-        } else if (key == "--clock-ghz") {
-            double v = 0.0;
-            if (!parseDouble(value, v) || !(v > 0.0 && v <= 100.0))
-                return fail("option '--clock-ghz' expects a number in"
-                            " (0, 100], got '" + value + "'");
-            opt.clockGhz = v;
-        } else if (key == "--arch") {
+        if (key == "--arch") {
             opt.archs.clear();
             std::string rest = value;
             while (!rest.empty()) {
@@ -331,6 +378,25 @@ parseArgs(const std::vector<std::string> &args)
             if (value.empty())
                 return fail("option '--csv' expects a path");
             opt.csvPath = value;
+        } else if (key == "--sweep") {
+            auto eq = value.find('=');
+            if (eq == std::string::npos || eq == 0 ||
+                eq + 1 >= value.size())
+                return fail("option '--sweep' expects key=v1[,v2,...],"
+                            " got '" + value + "'");
+            opt.sweepAxes.emplace_back(value.substr(0, eq),
+                                       value.substr(eq + 1));
+        } else if (key == "--jobs") {
+            std::int64_t v = 0;
+            if (!parseI64(value, v) || v < 1 || v > 256)
+                return fail("option '--jobs' expects an integer in"
+                            " [1, 256], got '" + value + "'");
+            opt.jobs = static_cast<int>(v);
+        } else if (key.rfind("--", 0) == 0) {
+            std::string err =
+                applyScenarioOption(opt, key.substr(2), value);
+            if (!err.empty())
+                return fail(err);
         } else {
             return fail("unknown option '" + key + "' (see --help)");
         }

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/config.hh"
@@ -35,11 +36,21 @@ struct Options
 {
     Workload workload = Workload::Spmm;
 
+    /**
+     * When non-empty, run this whole model (Figure 14) through
+     * ArchSuite::model instead of the single-shape workload; the
+     * shape options are ignored and --sparsity feeds the model's
+     * sparsified layers.
+     */
+    std::string model;
+
     // Problem shape.
     std::int64_t m = 256;
     std::int64_t k = 256;
     std::int64_t n = 64;
     double sparsity = 0.7;   //!< input (spmm) or mask (sddmm) sparsity
+    bool sparsitySet = false; //!< --sparsity given (models: override
+                              //!< the canonical per-model sparsity)
     int nmN = 2;             //!< N of N:M structured sparsity
     int nmM = 4;             //!< M of N:M structured sparsity
     std::int64_t window = 64; //!< sddmm-window band width
@@ -55,6 +66,17 @@ struct Options
     /** Architectures to run; empty means Canon only. */
     std::vector<std::string> archs;
 
+    /**
+     * Raw sweep axes in declaration order: one (key, comma-separated
+     * values) pair per --sweep flag. Validated and expanded by the
+     * runner subsystem (runner::SweepSpec), not here, so the options
+     * layer stays free of the expansion logic.
+     */
+    std::vector<std::pair<std::string, std::string>> sweepAxes;
+
+    /** Worker threads for sweep execution. */
+    int jobs = 1;
+
     std::string csvPath; //!< also dump the stats table as CSV
     bool showHelp = false;
     bool listWorkloads = false;
@@ -63,10 +85,19 @@ struct Options
 
     /** "spmm 256x256x64 s=0.70" style label for tables/profiles. */
     std::string workloadLabel() const;
-
-    /** True when any architecture besides canon was requested. */
-    bool comparesBaselines() const;
 };
+
+/**
+ * Apply one scenario-shaping option (bare key, no "--" prefix) to
+ * @p opt. This is the single grammar shared by parseArgs and the
+ * sweep-axis validation in runner::SweepSpec: every key that can be
+ * swept is exactly a key this function accepts (workload, model, m,
+ * k, n, sparsity, nm, window, seed, rows, cols, spad, dmem,
+ * clock-ghz). Returns an empty string on success, otherwise the
+ * error message.
+ */
+std::string applyScenarioOption(Options &opt, const std::string &key,
+                                const std::string &value);
 
 struct ParseResult
 {

@@ -50,7 +50,7 @@ Table::fmtInt(std::uint64_t v)
 }
 
 void
-Table::print() const
+Table::print(std::ostream &os) const
 {
     std::vector<std::size_t> widths(header_.size());
     for (std::size_t c = 0; c < header_.size(); ++c)
@@ -63,30 +63,31 @@ Table::print() const
     for (auto w : widths)
         total += w + 2;
 
-    std::cout << "\n=== " << title_ << " ===\n";
+    os << "\n=== " << title_ << " ===\n";
     auto rule = std::string(total, '-');
     auto print_row = [&](const std::vector<std::string> &row) {
         for (std::size_t c = 0; c < row.size(); ++c) {
-            std::cout << row[c]
-                      << std::string(widths[c] - row[c].size() + 2, ' ');
+            os << row[c]
+               << std::string(widths[c] - row[c].size() + 2, ' ');
         }
-        std::cout << "\n";
+        os << "\n";
     };
     print_row(header_);
-    std::cout << rule << "\n";
+    os << rule << "\n";
     for (const auto &row : rows_)
         print_row(row);
-    std::cout << std::flush;
+    os << std::flush;
 }
 
-bool
-Table::writeCsv(const std::string &path) const
+void
+Table::print() const
 {
-    std::ofstream f(path);
-    if (!f) {
-        warn("Table '", title_, "': cannot open ", path, " for CSV output");
-        return false;
-    }
+    print(std::cout);
+}
+
+void
+Table::writeCsv(std::ostream &os) const
+{
     // RFC-4180 quoting: thousands-separated integers (fmtInt) would
     // otherwise split into multiple CSV fields.
     auto escape = [](const std::string &cell) {
@@ -103,13 +104,24 @@ Table::writeCsv(const std::string &path) const
     };
     auto write_row = [&](const std::vector<std::string> &row) {
         for (std::size_t c = 0; c < row.size(); ++c)
-            f << (c ? "," : "") << escape(row[c]);
-        f << "\n";
+            os << (c ? "," : "") << escape(row[c]);
+        os << "\n";
     };
     write_row(header_);
     for (const auto &row : rows_)
         write_row(row);
-    f.flush();
+    os.flush();
+}
+
+bool
+Table::writeCsv(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f) {
+        warn("Table '", title_, "': cannot open ", path, " for CSV output");
+        return false;
+    }
+    writeCsv(f);
     return f.good();
 }
 

@@ -10,6 +10,7 @@
 #ifndef CANON_COMMON_TABLE_HH
 #define CANON_COMMON_TABLE_HH
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -33,8 +34,14 @@ class Table
     /** Format an integer with thousands separators. */
     static std::string fmtInt(std::uint64_t v);
 
+    /** Render the aligned table to @p os. */
+    void print(std::ostream &os) const;
+
     /** Render the aligned table to stdout. */
     void print() const;
+
+    /** Write the table as CSV rows to @p os. */
+    void writeCsv(std::ostream &os) const;
 
     /** Write the table as CSV to @p path; false if it can't open. */
     bool writeCsv(const std::string &path) const;

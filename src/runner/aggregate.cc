@@ -1,0 +1,114 @@
+#include "runner/aggregate.hh"
+
+#include <algorithm>
+
+#include "power/energy.hh"
+
+namespace canon
+{
+namespace runner
+{
+
+std::vector<std::string>
+orderedArchs(const cli::Options &opt, const CaseResult &cases)
+{
+    const std::vector<std::string> requested =
+        opt.archs.empty() ? std::vector<std::string>{"canon"}
+                          : opt.archs;
+    std::vector<std::string> out;
+    for (const auto &a : cli::knownArchs()) {
+        bool wanted = std::find(requested.begin(), requested.end(),
+                                a) != requested.end();
+        if (wanted && cases.count(a))
+            out.push_back(a);
+    }
+    return out;
+}
+
+std::vector<std::string>
+statsCells(const CanonConfig &cfg, const ExecutionProfile &profile,
+           double canon_cycles)
+{
+    const EnergyModel energy;
+    const EnergyReport rep = energy.evaluate(profile, cfg.clockGhz);
+
+    std::string perf = "X";
+    if (canon_cycles > 0.0 && profile.cycles > 0)
+        perf = Table::fmt(canon_cycles /
+                          static_cast<double>(profile.cycles));
+
+    return {
+        Table::fmtInt(profile.cycles),
+        Table::fmt(rep.seconds() * 1e6, 3),
+        Table::fmt(100.0 * profile.utilization(cfg.numMacs()), 1),
+        Table::fmtInt(profile.get("laneMacs")),
+        Table::fmtInt(profile.get("stateTransitions")),
+        Table::fmt(rep.totalJoules() * 1e6, 3),
+        Table::fmt(rep.watts() * 1e3, 2),
+        perf,
+    };
+}
+
+const std::vector<std::string> &
+statsHeader()
+{
+    static const std::vector<std::string> header = {
+        "Cycles",      "Time(us)",   "Util%",
+        "LaneMACs",    "StateXitions", "Energy(uJ)",
+        "Power(mW)",   "Perf/Canon",
+    };
+    return header;
+}
+
+std::size_t
+SweepResult::failureCount() const
+{
+    std::size_t n = 0;
+    for (const auto &r : results_)
+        if (!r.error.empty())
+            ++n;
+    return n;
+}
+
+Table
+SweepResult::table() const
+{
+    Table t("canonsim sweep");
+    std::vector<std::string> header = {"Scenario", "Point", "Arch"};
+    for (const auto &col : statsHeader())
+        header.push_back(col);
+    t.header(std::move(header));
+
+    for (const auto &r : results_) {
+        const std::string scenario = r.job.options.workloadLabel();
+        const std::string point =
+            r.job.point.empty() ? "-" : r.job.point;
+
+        if (!r.error.empty()) {
+            std::vector<std::string> row = {scenario, point, "X"};
+            for (std::size_t c = 0; c < statsHeader().size(); ++c)
+                row.push_back("X");
+            t.addRow(std::move(row));
+            continue;
+        }
+
+        const CanonConfig cfg = r.job.options.fabricConfig();
+        const bool have_canon = r.cases.count("canon") != 0;
+        const double canon_cycles =
+            have_canon
+                ? static_cast<double>(r.cases.at("canon").cycles)
+                : 0.0;
+
+        for (const auto &arch : orderedArchs(r.job.options, r.cases)) {
+            std::vector<std::string> row = {scenario, point, arch};
+            for (auto &cell : statsCells(cfg, r.cases.at(arch),
+                                         canon_cycles))
+                row.push_back(std::move(cell));
+            t.addRow(std::move(row));
+        }
+    }
+    return t;
+}
+
+} // namespace runner
+} // namespace canon

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Sweep result aggregation: collects the per-scenario outcomes of a
+ * pool run and renders them as one combined table (one row per
+ * scenario x architecture) suitable for printing and CSV export.
+ * Row order follows job expansion order, so sweep output is
+ * reproducible byte-for-byte across worker counts.
+ */
+
+#ifndef CANON_RUNNER_AGGREGATE_HH
+#define CANON_RUNNER_AGGREGATE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/config.hh"
+#include "power/profile.hh"
+#include "runner/pool.hh"
+
+namespace canon
+{
+namespace runner
+{
+
+/**
+ * The per-architecture stats cells (cycles, time, utilization, MACs,
+ * transitions, energy, power, speedup-vs-canon) shared by the
+ * single-scenario table and the combined sweep table. @p canon_cycles
+ * of 0 renders the speedup column as "X" (no canon reference).
+ */
+std::vector<std::string> statsCells(const CanonConfig &cfg,
+                                    const ExecutionProfile &profile,
+                                    double canon_cycles);
+
+/** Header labels matching statsCells, in the same order. */
+const std::vector<std::string> &statsHeader();
+
+/**
+ * Architectures present in @p cases that were requested by @p opt,
+ * in the paper's display order (canon first, then the baselines).
+ * Empty opt.archs means canon only, per the Options contract.
+ */
+std::vector<std::string> orderedArchs(const cli::Options &opt,
+                                      const CaseResult &cases);
+
+class SweepResult
+{
+  public:
+    explicit SweepResult(std::vector<ScenarioResult> results)
+        : results_(std::move(results))
+    {
+    }
+
+    const std::vector<ScenarioResult> &scenarios() const
+    {
+        return results_;
+    }
+
+    /** Scenarios that produced no profiles (or threw). */
+    std::size_t failureCount() const;
+
+    /**
+     * One combined table: a row per scenario x architecture, in job
+     * order, each scenario's archs in display order. Failed
+     * scenarios render one row with "X" stats so the grid shape is
+     * preserved.
+     */
+    Table table() const;
+
+  private:
+    std::vector<ScenarioResult> results_;
+};
+
+} // namespace runner
+} // namespace canon
+
+#endif // CANON_RUNNER_AGGREGATE_HH

@@ -1,0 +1,60 @@
+#include "runner/pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace canon
+{
+namespace runner
+{
+
+std::vector<ScenarioResult>
+ScenarioPool::run(
+    const std::vector<SweepJob> &jobs,
+    const std::function<CaseResult(const cli::Options &)> &fn) const
+{
+    std::vector<ScenarioResult> results(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        results[i].job = jobs[i];
+    if (jobs.empty())
+        return results;
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            ScenarioResult &r = results[i];
+            try {
+                r.cases = fn(jobs[i].options);
+                if (r.cases.empty())
+                    r.error = kNoArchError;
+            } catch (const std::exception &e) {
+                r.error = e.what();
+            }
+        }
+    };
+
+    const int n = std::clamp(
+        workers_, 1, static_cast<int>(std::min<std::size_t>(
+                         jobs.size(), 256)));
+    if (n == 1) {
+        // Degenerate pool: run inline, no thread spawn.
+        worker();
+        return results;
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t)
+        threads.emplace_back(worker);
+    for (auto &t : threads)
+        t.join();
+    return results;
+}
+
+} // namespace runner
+} // namespace canon

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Worker-pool execution of sweep jobs.
+ *
+ * Workers pull job indices from a shared atomic counter, so the pool
+ * never partitions work statically (one slow scenario cannot strand
+ * a whole stripe behind it). Each result lands at its job's index,
+ * which makes the output ordering -- and therefore the rendered
+ * table and CSV -- deterministic and independent of thread count and
+ * scheduling.
+ */
+
+#ifndef CANON_RUNNER_POOL_HH
+#define CANON_RUNNER_POOL_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runner/sweep.hh"
+#include "workloads/suite.hh"
+
+namespace canon
+{
+namespace runner
+{
+
+/** Error recorded when a scenario yields no profile at all. */
+inline constexpr const char *kNoArchError =
+    "no requested architecture can execute this scenario";
+
+/** Outcome of one sweep job: per-arch profiles, or an error. */
+struct ScenarioResult
+{
+    SweepJob job;
+    CaseResult cases;
+    std::string error; //!< nonempty when the scenario failed
+};
+
+class ScenarioPool
+{
+  public:
+    /** @p workers is clamped to [1, jobs] at run time. */
+    explicit ScenarioPool(int workers) : workers_(workers) {}
+
+    int workers() const { return workers_; }
+
+    /**
+     * Run every job through @p fn (a CaseResult producer, typically
+     * cli::runCases) and collect the outcomes in job-index order.
+     * A job that throws FatalError/PanicError (or any std::exception)
+     * is captured as a failed ScenarioResult; the remaining jobs
+     * still run.
+     */
+    std::vector<ScenarioResult>
+    run(const std::vector<SweepJob> &jobs,
+        const std::function<CaseResult(const cli::Options &)> &fn)
+        const;
+
+  private:
+    int workers_;
+};
+
+} // namespace runner
+} // namespace canon
+
+#endif // CANON_RUNNER_POOL_HH

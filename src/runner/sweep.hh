@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Sweep specification: a list of named axes (workload parameters or
+ * fabric dimensions, each with a value list) whose cartesian product
+ * expands a base Options into one job per scenario.
+ *
+ * Axis values are validated when the axis is added -- through the
+ * same option applier the CLI parser uses -- so expansion itself
+ * cannot fail and a malformed sweep is reported before any simulation
+ * starts. Expansion order is deterministic: axes vary like nested
+ * loops in declaration order, the last-declared axis fastest.
+ */
+
+#ifndef CANON_RUNNER_SWEEP_HH
+#define CANON_RUNNER_SWEEP_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cli/options.hh"
+
+namespace canon
+{
+namespace runner
+{
+
+/**
+ * One scenario of a sweep: the fully applied options plus a
+ * "key=value key=value" point label naming the axis assignment that
+ * produced it (empty for the degenerate no-axis sweep).
+ */
+struct SweepJob
+{
+    std::size_t index = 0; //!< position in expansion order
+    cli::Options options;
+    std::string point; //!< axis assignment, e.g. "sparsity=0.5 rows=4"
+};
+
+class SweepSpec
+{
+  public:
+    /**
+     * Add one axis from its key and comma-separated value list.
+     * Every value is validated immediately against the CLI option
+     * grammar. Returns an empty string on success, otherwise the
+     * error message (unknown key, duplicate axis, malformed value).
+     */
+    std::string addAxis(const std::string &key,
+                        const std::string &values);
+
+    /** Number of declared axes. */
+    std::size_t axisCount() const { return axes_.size(); }
+
+    /** True when an axis named @p key was declared. */
+    bool hasAxis(const std::string &key) const;
+
+    /** True when axis @p key exists and lists @p value. */
+    bool axisHasValue(const std::string &key,
+                      const std::string &value) const;
+
+    /** Product of the axis lengths; 1 when no axis was declared. */
+    std::size_t jobCount() const;
+
+    /**
+     * Expand @p base into the cartesian product of the axes, one
+     * SweepJob per combination. With no axes this returns a single
+     * job carrying @p base unchanged.
+     */
+    std::vector<SweepJob> expand(const cli::Options &base) const;
+
+  private:
+    struct Axis
+    {
+        std::string key;
+        std::vector<std::string> values;
+    };
+
+    std::vector<Axis> axes_;
+};
+
+/**
+ * Build a SweepSpec from the raw (key, values) pairs collected by the
+ * CLI parser. Returns an empty string on success, otherwise the first
+ * error.
+ */
+std::string makeSweepSpec(
+    const std::vector<std::pair<std::string, std::string>> &axes,
+    SweepSpec &out);
+
+} // namespace runner
+} // namespace canon
+
+#endif // CANON_RUNNER_SWEEP_HH

@@ -1,5 +1,7 @@
 #include "workloads/models.hh"
 
+#include "common/logging.hh"
+
 namespace canon
 {
 
@@ -88,6 +90,44 @@ longformerAttn()
          12},
     };
     return m;
+}
+
+const std::vector<std::string> &
+knownModelNames()
+{
+    static const std::vector<std::string> names = {
+        "resnet50",      "llama8b-mlp",   "llama8b-attn",
+        "mistral7b-mlp", "mistral7b-attn", "longformer",
+    };
+    return names;
+}
+
+ModelSpec
+modelByName(const std::string &name, double sparsity)
+{
+    if (name == "resnet50")
+        return resnet50Conv(sparsity);
+    if (name == "llama8b-mlp")
+        return llama8bMlp(sparsity);
+    if (name == "llama8b-attn")
+        return llama8bAttn(sparsity);
+    if (name == "mistral7b-mlp")
+        return mistral7bMlp(sparsity);
+    if (name == "mistral7b-attn")
+        return mistral7bAttn();
+    if (name == "longformer")
+        return longformerAttn();
+    fatal("unknown model '", name, "'");
+    return {};
+}
+
+ModelSpec
+modelByName(const std::string &name)
+{
+    // Canonical Figure-14 sparsities (see bench_fig14_edp.cc).
+    if (name == "resnet50")
+        return resnet50Conv(0.5);
+    return modelByName(name, 0.7);
 }
 
 } // namespace canon

@@ -61,6 +61,27 @@ ModelSpec mistral7bAttn();
 /** BERT + Longformer window (Win1: window 512, seq 4K). */
 ModelSpec longformerAttn();
 
+/**
+ * CLI names of every predefined model, in Figure-14 order
+ * ("resnet50", "llama8b-mlp", ...).
+ */
+const std::vector<std::string> &knownModelNames();
+
+/**
+ * Look up a model by its CLI name. @p sparsity feeds the model's
+ * sparsified layers (ignored by the purely window-structured
+ * attention models). Throws FatalError for an unknown name; callers
+ * validate against knownModelNames() first.
+ */
+ModelSpec modelByName(const std::string &name, double sparsity);
+
+/**
+ * Same lookup at each model's canonical Figure-14 sparsity
+ * (ResNet-50 at 0.5, the LLaMA/Mistral sparse variants at 0.7), so
+ * CLI model runs reproduce the bench figures by default.
+ */
+ModelSpec modelByName(const std::string &name);
+
 } // namespace canon
 
 #endif // CANON_WORKLOADS_MODELS_HH

@@ -7,11 +7,15 @@
 namespace canon
 {
 
-ArchSuite::ArchSuite(const CanonConfig &cfg)
+ArchSuite::ArchSuite(const CanonConfig &cfg) : ArchSuite(cfg, {}) {}
+
+ArchSuite::ArchSuite(const CanonConfig &cfg,
+                     const std::vector<std::string> &archs)
     : canon_(cfg),
       systolic_(SystolicConfig{16, 16, SparsitySupport::Dense}),
       systolic24_(SystolicConfig{16, 16, SparsitySupport::TwoFour}),
-      zed_(ZedConfig{}), cgra_(CgraConfig{})
+      zed_(ZedConfig{}), cgra_(CgraConfig{}),
+      archs_(archs.begin(), archs.end())
 {
 }
 
@@ -52,11 +56,16 @@ ArchSuite::gemm(std::int64_t m, std::int64_t k, std::int64_t n,
                 std::uint64_t seed) const
 {
     CaseResult r;
-    r["canon"] = canon_.gemmShape(m, k, n, seed);
-    r["systolic"] = systolic_.gemm(m, k, n);
-    r["systolic24"] = systolic24_.gemm(m, k, n);
-    r["zed"] = zed_.gemm(m, k, n);
-    r["cgra"] = cgra_.gemm(m, k, n);
+    if (enabled("canon"))
+        r["canon"] = canon_.gemmShape(m, k, n, seed);
+    if (enabled("systolic"))
+        r["systolic"] = systolic_.gemm(m, k, n);
+    if (enabled("systolic24"))
+        r["systolic24"] = systolic24_.gemm(m, k, n);
+    if (enabled("zed"))
+        r["zed"] = zed_.gemm(m, k, n);
+    if (enabled("cgra"))
+        r["cgra"] = cgra_.gemm(m, k, n);
     return r;
 }
 
@@ -65,12 +74,17 @@ ArchSuite::spmm(std::int64_t m, std::int64_t k, std::int64_t n,
                 double sparsity, std::uint64_t seed) const
 {
     CaseResult r;
-    r["canon"] = canon_.spmmShape(m, k, n, sparsity, seed);
-    r["systolic"] = systolic_.spmm(m, k, n, sparsity);
-    r["systolic24"] = systolic24_.spmm(m, k, n, sparsity);
-    r["zed"] =
-        zed_.spmmRows(sampleRowNnz(m, k, 1.0 - sparsity, seed + 1), n);
-    r["cgra"] = cgra_.spmm(m, k, n, sparsity);
+    if (enabled("canon"))
+        r["canon"] = canon_.spmmShape(m, k, n, sparsity, seed);
+    if (enabled("systolic"))
+        r["systolic"] = systolic_.spmm(m, k, n, sparsity);
+    if (enabled("systolic24"))
+        r["systolic24"] = systolic24_.spmm(m, k, n, sparsity);
+    if (enabled("zed"))
+        r["zed"] = zed_.spmmRows(
+            sampleRowNnz(m, k, 1.0 - sparsity, seed + 1), n);
+    if (enabled("cgra"))
+        r["cgra"] = cgra_.spmm(m, k, n, sparsity);
     return r;
 }
 
@@ -83,44 +97,54 @@ ArchSuite::spmmBimodal(std::int64_t m, std::int64_t k, std::int64_t n,
     const int tile_n = cfg.cols * kSimdWidth;
     const double avg = (sparsity_a + sparsity_b) / 2.0;
 
-    // Build the skewed matrix at proxy size; both the Canon cycle
-    // simulator and ZeD's row model consume the *same* population.
-    const auto mp = static_cast<int>(std::min<std::int64_t>(m, 512));
-    const auto kp = static_cast<int>(
-        std::min<std::int64_t>(k, static_cast<std::int64_t>(cfg.rows) *
-                                      cfg.dmemSlots));
-    Rng rng(seed);
-    const auto a =
-        randomSparseBimodal(mp, kp, sparsity_a, sparsity_b, rng);
-    const auto b = randomDense(kp, tile_n, rng);
-    const auto csr = CsrMatrix::fromDense(a);
-
-    const auto passes = divCeil(static_cast<std::uint64_t>(n),
-                                static_cast<std::uint64_t>(tile_n));
-    const double factor = (static_cast<double>(m) / mp) *
-                          (static_cast<double>(k) / kp) *
-                          static_cast<double>(passes);
-
     CaseResult r;
-    auto canon_p = canon_.spmmExact(csr, b);
-    canon_p.scale(factor);
-    canon_p.workload = "spmm-skewed";
-    r["canon"] = canon_p;
+    if (enabled("canon") || enabled("zed")) {
+        // Build the skewed matrix at proxy size; both the Canon cycle
+        // simulator and ZeD's row model consume the *same* population.
+        const auto mp =
+            static_cast<int>(std::min<std::int64_t>(m, 512));
+        const auto kp = static_cast<int>(std::min<std::int64_t>(
+            k, static_cast<std::int64_t>(cfg.rows) * cfg.dmemSlots));
+        Rng rng(seed);
+        const auto a =
+            randomSparseBimodal(mp, kp, sparsity_a, sparsity_b, rng);
+        const auto csr = CsrMatrix::fromDense(a);
 
-    // ZeD holds the whole B (its banks are sized for it), so it runs
-    // the full output width in one pass: scale only the m/k proxying.
-    std::vector<std::int64_t> rows;
-    rows.reserve(static_cast<std::size_t>(mp));
-    for (int i = 0; i < csr.rows(); ++i)
-        rows.push_back(csr.rowNnz(i));
-    auto zed_p = zed_.spmmRows(rows, n);
-    zed_p.scale((static_cast<double>(m) / mp) *
-                (static_cast<double>(k) / kp));
-    r["zed"] = zed_p;
+        if (enabled("canon")) {
+            const auto b = randomDense(kp, tile_n, rng);
+            const auto passes =
+                divCeil(static_cast<std::uint64_t>(n),
+                        static_cast<std::uint64_t>(tile_n));
+            const double factor = (static_cast<double>(m) / mp) *
+                                  (static_cast<double>(k) / kp) *
+                                  static_cast<double>(passes);
+            auto canon_p = canon_.spmmExact(csr, b);
+            canon_p.scale(factor);
+            canon_p.workload = "spmm-skewed";
+            r["canon"] = canon_p;
+        }
 
-    r["systolic"] = systolic_.spmm(m, k, n, avg);
-    r["systolic24"] = systolic24_.spmm(m, k, n, avg);
-    r["cgra"] = cgra_.spmm(m, k, n, avg);
+        if (enabled("zed")) {
+            // ZeD holds the whole B (its banks are sized for it), so
+            // it runs the full output width in one pass: scale only
+            // the m/k proxying.
+            std::vector<std::int64_t> rows;
+            rows.reserve(static_cast<std::size_t>(mp));
+            for (int i = 0; i < csr.rows(); ++i)
+                rows.push_back(csr.rowNnz(i));
+            auto zed_p = zed_.spmmRows(rows, n);
+            zed_p.scale((static_cast<double>(m) / mp) *
+                        (static_cast<double>(k) / kp));
+            r["zed"] = zed_p;
+        }
+    }
+
+    if (enabled("systolic"))
+        r["systolic"] = systolic_.spmm(m, k, n, avg);
+    if (enabled("systolic24"))
+        r["systolic24"] = systolic24_.spmm(m, k, n, avg);
+    if (enabled("cgra"))
+        r["cgra"] = cgra_.spmm(m, k, n, avg);
     return r;
 }
 
@@ -129,17 +153,23 @@ ArchSuite::spmmNm(std::int64_t m, std::int64_t k, std::int64_t n,
                   int nm_n, int nm_m, std::uint64_t seed) const
 {
     CaseResult r;
-    r["canon"] = canon_.nmShape(m, k, n, nm_n, nm_m, seed);
-    r["systolic"] = systolic_.gemm(m, k, n);
-    r["systolic24"] = systolic24_.gemm(m, k, n, {nm_n, nm_m});
-    // ZeD treats structure as plain unstructured non-zeros: rows are
-    // perfectly balanced at k*n/m non-zeros each.
-    std::vector<std::int64_t> rows(
-        static_cast<std::size_t>(m),
-        static_cast<std::int64_t>(k) * nm_n / nm_m);
-    r["zed"] = zed_.spmmRows(rows, n);
-    r["cgra"] = cgra_.spmm(m, k, n, 1.0 - static_cast<double>(nm_n) /
-                                              nm_m);
+    if (enabled("canon"))
+        r["canon"] = canon_.nmShape(m, k, n, nm_n, nm_m, seed);
+    if (enabled("systolic"))
+        r["systolic"] = systolic_.gemm(m, k, n);
+    if (enabled("systolic24"))
+        r["systolic24"] = systolic24_.gemm(m, k, n, {nm_n, nm_m});
+    if (enabled("zed")) {
+        // ZeD treats structure as plain unstructured non-zeros: rows
+        // are perfectly balanced at k*n/m non-zeros each.
+        std::vector<std::int64_t> rows(
+            static_cast<std::size_t>(m),
+            static_cast<std::int64_t>(k) * nm_n / nm_m);
+        r["zed"] = zed_.spmmRows(rows, n);
+    }
+    if (enabled("cgra"))
+        r["cgra"] = cgra_.spmm(m, k, n,
+                               1.0 - static_cast<double>(nm_n) / nm_m);
     return r;
 }
 
@@ -148,12 +178,17 @@ ArchSuite::sddmm(std::int64_t m, std::int64_t k, std::int64_t n,
                  double mask_sparsity, std::uint64_t seed) const
 {
     CaseResult r;
-    r["canon"] = canon_.sddmmShape(m, k, n, mask_sparsity, seed);
-    r["systolic"] = systolic_.sddmm(m, k, n, mask_sparsity);
-    r["systolic24"] = systolic24_.sddmm(m, k, n, mask_sparsity);
-    r["zed"] = zed_.sddmmRows(
-        sampleRowNnz(m, n, 1.0 - mask_sparsity, seed + 1), k);
-    r["cgra"] = cgra_.sddmm(m, k, n, mask_sparsity);
+    if (enabled("canon"))
+        r["canon"] = canon_.sddmmShape(m, k, n, mask_sparsity, seed);
+    if (enabled("systolic"))
+        r["systolic"] = systolic_.sddmm(m, k, n, mask_sparsity);
+    if (enabled("systolic24"))
+        r["systolic24"] = systolic24_.sddmm(m, k, n, mask_sparsity);
+    if (enabled("zed"))
+        r["zed"] = zed_.sddmmRows(
+            sampleRowNnz(m, n, 1.0 - mask_sparsity, seed + 1), k);
+    if (enabled("cgra"))
+        r["cgra"] = cgra_.sddmm(m, k, n, mask_sparsity);
     return r;
 }
 
@@ -162,15 +197,21 @@ ArchSuite::sddmmWindow(std::int64_t seq, std::int64_t k,
                        std::int64_t window, std::uint64_t seed) const
 {
     CaseResult r;
-    r["canon"] = canon_.sddmmWindowShape(seq, k, window, seed);
-    r["systolic"] = systolic_.sddmmWindow(seq, k, window);
-    r["systolic24"] = systolic24_.sddmmWindow(seq, k, window);
-    // ZeD sees the band as an unstructured mask: `window` live
-    // positions per row.
-    std::vector<std::int64_t> rows(static_cast<std::size_t>(seq),
-                                   window);
-    r["zed"] = zed_.sddmmRows(rows, k);
-    r["cgra"] = cgra_.sddmmWindow(seq, k, window);
+    if (enabled("canon"))
+        r["canon"] = canon_.sddmmWindowShape(seq, k, window, seed);
+    if (enabled("systolic"))
+        r["systolic"] = systolic_.sddmmWindow(seq, k, window);
+    if (enabled("systolic24"))
+        r["systolic24"] = systolic24_.sddmmWindow(seq, k, window);
+    if (enabled("zed")) {
+        // ZeD sees the band as an unstructured mask: `window` live
+        // positions per row.
+        std::vector<std::int64_t> rows(static_cast<std::size_t>(seq),
+                                       window);
+        r["zed"] = zed_.sddmmRows(rows, k);
+    }
+    if (enabled("cgra"))
+        r["cgra"] = cgra_.sddmmWindow(seq, k, window);
     return r;
 }
 

@@ -12,6 +12,7 @@
 #define CANON_WORKLOADS_SUITE_HH
 
 #include <map>
+#include <set>
 #include <string>
 
 #include "baselines/cgra.hh"
@@ -29,6 +30,22 @@ class ArchSuite
 {
   public:
     explicit ArchSuite(const CanonConfig &cfg = CanonConfig::paper());
+
+    /**
+     * Suite restricted to @p archs (names as in the driver: "canon",
+     * "systolic", "systolic24", "zed", "cgra"). Unselected
+     * architectures are skipped entirely -- in particular a
+     * baseline-only run no longer pays for the dominant Canon cycle
+     * simulation. An empty set selects every architecture.
+     */
+    ArchSuite(const CanonConfig &cfg,
+              const std::vector<std::string> &archs);
+
+    /** True when @p arch is in the selected set. */
+    bool enabled(const std::string &arch) const
+    {
+        return archs_.empty() || archs_.count(arch) != 0;
+    }
 
     CaseResult gemm(std::int64_t m, std::int64_t k, std::int64_t n,
                     std::uint64_t seed) const;
@@ -75,6 +92,7 @@ class ArchSuite
     SystolicModel systolic24_;
     ZedModel zed_;
     CgraModel cgra_;
+    std::set<std::string> archs_; //!< empty = all selected
 };
 
 } // namespace canon

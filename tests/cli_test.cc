@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <sstream>
 
 #include "cli/driver.hh"
 #include "cli/options.hh"
@@ -34,7 +35,6 @@ TEST(CliOptions, DefaultsAreSpmmOnCanonPaperFabric)
     const Options &o = res.options;
     EXPECT_EQ(o.workload, Workload::Spmm);
     EXPECT_EQ(o.archs, std::vector<std::string>{"canon"});
-    EXPECT_FALSE(o.comparesBaselines());
 
     const CanonConfig cfg = o.fabricConfig();
     const CanonConfig paper = CanonConfig::paper();
@@ -88,7 +88,6 @@ TEST(CliOptions, ParsesFabricAndModeOptions)
     EXPECT_EQ(o.fabricConfig().dmemSlots, 2048);
     EXPECT_DOUBLE_EQ(o.fabricConfig().clockGhz, 1.5);
     EXPECT_EQ(o.archs, (std::vector<std::string>{"canon", "zed"}));
-    EXPECT_TRUE(o.comparesBaselines());
     EXPECT_DOUBLE_EQ(o.sparsity, 0.9);
     EXPECT_EQ(o.seed, 42u);
     EXPECT_EQ(o.csvPath, "/tmp/out.csv");
@@ -99,7 +98,6 @@ TEST(CliOptions, ArchAllExpandsToEveryArchitecture)
     auto res = parse({"--arch", "all"});
     ASSERT_TRUE(res.ok) << res.error;
     EXPECT_EQ(res.options.archs.size(), 5u);
-    EXPECT_TRUE(res.options.comparesBaselines());
 }
 
 TEST(CliOptions, ParsesNmPattern)
@@ -146,6 +144,45 @@ TEST(CliOptions, RejectsUnknownOptionArchAndMissingValue)
     EXPECT_FALSE(parse({"--frobnicate", "1"}).ok);
     EXPECT_FALSE(parse({"--arch", "tpu"}).ok);
     EXPECT_FALSE(parse({"--m"}).ok);
+}
+
+TEST(CliOptions, ParsesSweepAxesAndJobs)
+{
+    auto res = parse({"--sweep", "sparsity=0.5,0.7,0.9",
+                      "--sweep=rows=4,8", "--jobs", "4"});
+    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_EQ(res.options.sweepAxes.size(), 2u);
+    EXPECT_EQ(res.options.sweepAxes[0].first, "sparsity");
+    EXPECT_EQ(res.options.sweepAxes[0].second, "0.5,0.7,0.9");
+    EXPECT_EQ(res.options.sweepAxes[1].first, "rows");
+    EXPECT_EQ(res.options.sweepAxes[1].second, "4,8");
+    EXPECT_EQ(res.options.jobs, 4);
+}
+
+TEST(CliOptions, RejectsMalformedSweepAndJobs)
+{
+    EXPECT_FALSE(parse({"--sweep", "sparsity"}).ok);  // no '='
+    EXPECT_FALSE(parse({"--sweep", "=0.5"}).ok);      // empty key
+    EXPECT_FALSE(parse({"--sweep", "sparsity="}).ok); // empty values
+    EXPECT_FALSE(parse({"--jobs", "0"}).ok);
+    EXPECT_FALSE(parse({"--jobs", "257"}).ok);
+    EXPECT_FALSE(parse({"--jobs", "many"}).ok);
+}
+
+TEST(CliOptions, ParsesKnownModelAndRejectsUnknown)
+{
+    auto res = parse({"--model", "llama8b-attn"});
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.options.model, "llama8b-attn");
+    EXPECT_EQ(res.options.workloadLabel(), "llama8b-attn model");
+
+    auto none = parse({"--model", "llama8b-attn", "--model", "none"});
+    ASSERT_TRUE(none.ok) << none.error;
+    EXPECT_EQ(none.options.model, "");
+
+    auto bad = parse({"--model", "gpt5"});
+    EXPECT_FALSE(bad.ok);
+    EXPECT_NE(bad.error.find("gpt5"), std::string::npos);
 }
 
 // ---- end-to-end smoke runs -------------------------------------------
@@ -204,6 +241,57 @@ TEST(CliDriver, BaselineComparisonIncludesRequestedArchs)
     EXPECT_EQ(r.count("systolic"), 1u);
     EXPECT_EQ(r.count("zed"), 1u);
     EXPECT_EQ(r.count("cgra"), 0u); // not requested
+}
+
+TEST(CliDriver, BaselineOnlyRunSkipsCanonSimulation)
+{
+    Options o = smokeOptions(Workload::Spmm);
+    o.archs = {"systolic", "cgra"};
+    CaseResult r = runCases(o);
+    EXPECT_EQ(r.count("canon"), 0u);
+    EXPECT_EQ(r.count("systolic"), 1u);
+    EXPECT_EQ(r.count("cgra"), 1u);
+
+    // The suite itself must not have computed the unselected archs.
+    ArchSuite suite(o.fabricConfig(), o.archs);
+    EXPECT_FALSE(suite.enabled("canon"));
+    EXPECT_TRUE(suite.enabled("systolic"));
+    CaseResult direct = suite.spmm(32, 32, 32, 0.5, 1);
+    EXPECT_EQ(direct.count("canon"), 0u);
+    EXPECT_EQ(direct.count("zed"), 0u);
+    EXPECT_EQ(direct.count("systolic"), 1u);
+}
+
+TEST(CliDriver, ModelRunAccumulatesLayersOnCanon)
+{
+    Options o;
+    o.model = "llama8b-attn";
+    o.sparsity = 0.9;
+    o.archs = {"canon"};
+    CaseResult r = runCases(o);
+    ASSERT_EQ(r.count("canon"), 1u);
+    EXPECT_GT(r.at("canon").cycles, 0u);
+    EXPECT_GT(r.at("canon").get("laneMacs"), 0u);
+    EXPECT_EQ(r.at("canon").workload, "Llama8B-Attn");
+}
+
+TEST(CliDriver, RunScenarioWritesReportToGivenStream)
+{
+    Options o = smokeOptions(Workload::Spmm);
+    std::ostringstream out, err;
+    EXPECT_EQ(runScenario(o, out, err), 0);
+    EXPECT_EQ(err.str(), "");
+    EXPECT_NE(out.str().find("=== canonsim: spmm"),
+              std::string::npos);
+}
+
+TEST(CliDriver, RunScenarioReportsCsvFailureOnErrStream)
+{
+    Options o = smokeOptions(Workload::Spmm);
+    o.csvPath = "/nonexistent-dir/x.csv";
+    std::ostringstream out, err;
+    EXPECT_EQ(runScenario(o, out, err), 1);
+    EXPECT_NE(err.str().find("cannot write CSV"), std::string::npos);
 }
 
 TEST(CliDriver, CsvQuotesThousandsSeparatedCells)

@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Runner subsystem tests: sweep-spec expansion (cartesian product,
+ * axis validation), worker-pool determinism (identical results and
+ * identical rendered output regardless of thread count), and the
+ * aggregated sweep table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+
+#include "cli/driver.hh"
+#include "common/logging.hh"
+#include "runner/aggregate.hh"
+#include "runner/pool.hh"
+#include "runner/sweep.hh"
+
+namespace canon
+{
+namespace runner
+{
+namespace
+{
+
+cli::Options
+smallSpmm()
+{
+    cli::Options o;
+    o.workload = cli::Workload::Spmm;
+    o.m = 32;
+    o.k = 32;
+    o.n = 32;
+    o.sparsity = 0.5;
+    o.archs = {"canon"};
+    return o;
+}
+
+// ---- SweepSpec expansion ---------------------------------------------
+
+TEST(SweepSpec, NoAxesExpandsToSingleBaseJob)
+{
+    SweepSpec spec;
+    EXPECT_EQ(spec.jobCount(), 1u);
+
+    const cli::Options base = smallSpmm();
+    auto jobs = spec.expand(base);
+    ASSERT_EQ(jobs.size(), 1u);
+    EXPECT_EQ(jobs[0].index, 0u);
+    EXPECT_EQ(jobs[0].point, "");
+    EXPECT_EQ(jobs[0].options.m, base.m);
+    EXPECT_DOUBLE_EQ(jobs[0].options.sparsity, base.sparsity);
+}
+
+TEST(SweepSpec, SingleAxisExpandsInDeclaredValueOrder)
+{
+    SweepSpec spec;
+    ASSERT_EQ(spec.addAxis("sparsity", "0.3,0.5,0.9"), "");
+    EXPECT_EQ(spec.jobCount(), 3u);
+
+    auto jobs = spec.expand(smallSpmm());
+    ASSERT_EQ(jobs.size(), 3u);
+    EXPECT_DOUBLE_EQ(jobs[0].options.sparsity, 0.3);
+    EXPECT_DOUBLE_EQ(jobs[1].options.sparsity, 0.5);
+    EXPECT_DOUBLE_EQ(jobs[2].options.sparsity, 0.9);
+    EXPECT_EQ(jobs[0].point, "sparsity=0.3");
+    EXPECT_EQ(jobs[2].point, "sparsity=0.9");
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(jobs[i].index, i);
+}
+
+TEST(SweepSpec, CartesianProductVariesLastAxisFastest)
+{
+    SweepSpec spec;
+    ASSERT_EQ(spec.addAxis("sparsity", "0.3,0.6"), "");
+    ASSERT_EQ(spec.addAxis("rows", "4,8"), "");
+    EXPECT_EQ(spec.jobCount(), 4u);
+
+    auto jobs = spec.expand(smallSpmm());
+    ASSERT_EQ(jobs.size(), 4u);
+    EXPECT_EQ(jobs[0].point, "sparsity=0.3 rows=4");
+    EXPECT_EQ(jobs[1].point, "sparsity=0.3 rows=8");
+    EXPECT_EQ(jobs[2].point, "sparsity=0.6 rows=4");
+    EXPECT_EQ(jobs[3].point, "sparsity=0.6 rows=8");
+    EXPECT_EQ(jobs[1].options.rows, 8);
+    EXPECT_DOUBLE_EQ(jobs[1].options.sparsity, 0.3);
+    EXPECT_EQ(jobs[2].options.rows, 4);
+    EXPECT_DOUBLE_EQ(jobs[2].options.sparsity, 0.6);
+}
+
+TEST(SweepSpec, WorkloadAndModelAreSweepable)
+{
+    SweepSpec spec;
+    ASSERT_EQ(spec.addAxis("workload", "gemm,spmm"), "");
+    ASSERT_EQ(spec.addAxis("model", "longformer,none"), "");
+    auto jobs = spec.expand(smallSpmm());
+    ASSERT_EQ(jobs.size(), 4u);
+    EXPECT_EQ(jobs[0].options.workload, cli::Workload::Gemm);
+    EXPECT_EQ(jobs[0].options.model, "longformer");
+    EXPECT_EQ(jobs[1].options.model, "");
+    EXPECT_EQ(jobs[2].options.workload, cli::Workload::Spmm);
+}
+
+TEST(SweepSpec, RejectsBadAxes)
+{
+    SweepSpec spec;
+    // Unknown key.
+    EXPECT_NE(spec.addAxis("frobnicate", "1,2"), "");
+    // Keys outside the scenario grammar are not sweepable, and the
+    // message says so rather than calling a real flag unknown.
+    const std::string csv_err = spec.addAxis("csv", "a.csv,b.csv");
+    EXPECT_NE(csv_err.find("not sweepable"), std::string::npos)
+        << csv_err;
+    EXPECT_NE(spec.addAxis("arch", "canon,zed"), "");
+    EXPECT_NE(spec.addAxis("jobs", "1,2"), "");
+    // Malformed values.
+    EXPECT_NE(spec.addAxis("sparsity", "0.5,1.5"), "");
+    EXPECT_NE(spec.addAxis("m", "64,abc"), "");
+    EXPECT_NE(spec.addAxis("model", "gpt5"), "");
+    // Empty value list, embedded and trailing empty values.
+    EXPECT_NE(spec.addAxis("rows", ""), "");
+    EXPECT_NE(spec.addAxis("rows", "4,,8"), "");
+    EXPECT_NE(spec.addAxis("rows", "4,8,"), "");
+    // "--sweep --rows=4" style keys get a targeted hint.
+    const std::string dash_err = spec.addAxis("--rows", "4,8");
+    EXPECT_NE(dash_err.find("should not start with '-'"),
+              std::string::npos)
+        << dash_err;
+    // A rejected axis must not have been recorded.
+    EXPECT_EQ(spec.axisCount(), 0u);
+    EXPECT_EQ(spec.jobCount(), 1u);
+}
+
+TEST(SweepSpec, RejectsDuplicateAxis)
+{
+    SweepSpec spec;
+    ASSERT_EQ(spec.addAxis("rows", "4,8"), "");
+    const std::string err = spec.addAxis("rows", "16");
+    EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
+    EXPECT_EQ(spec.axisCount(), 1u);
+}
+
+TEST(SweepSpec, MakeSweepSpecReportsFirstError)
+{
+    SweepSpec ok;
+    EXPECT_EQ(makeSweepSpec({{"sparsity", "0.5,0.7"}, {"rows", "4"}},
+                            ok),
+              "");
+    EXPECT_EQ(ok.jobCount(), 2u);
+
+    SweepSpec bad;
+    const std::string err =
+        makeSweepSpec({{"rows", "4"}, {"sparsity", "2.0"}}, bad);
+    EXPECT_NE(err.find("sparsity"), std::string::npos) << err;
+}
+
+// ---- ScenarioPool -----------------------------------------------------
+
+TEST(ScenarioPool, EmptyJobListYieldsNoResults)
+{
+    ScenarioPool pool(4);
+    auto results = pool.run(
+        {}, [](const cli::Options &) { return CaseResult{}; });
+    EXPECT_TRUE(results.empty());
+}
+
+TEST(ScenarioPool, ResultsLandAtTheirJobIndex)
+{
+    SweepSpec spec;
+    ASSERT_EQ(spec.addAxis("m", "8,16,24,32,40,48,56,64"), "");
+    auto jobs = spec.expand(smallSpmm());
+
+    // A synthetic runner that encodes the job's m into the profile,
+    // so any misplacement is visible.
+    auto fn = [](const cli::Options &o) {
+        CaseResult r;
+        ExecutionProfile p;
+        p.cycles = static_cast<std::uint64_t>(o.m);
+        r["canon"] = p;
+        return r;
+    };
+
+    for (int workers : {1, 3, 8, 16}) {
+        auto results = ScenarioPool(workers).run(jobs, fn);
+        ASSERT_EQ(results.size(), jobs.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            EXPECT_EQ(results[i].job.index, i);
+            EXPECT_EQ(results[i].cases.at("canon").cycles,
+                      static_cast<std::uint64_t>(
+                          jobs[i].options.m))
+                << "workers=" << workers << " job=" << i;
+        }
+    }
+}
+
+TEST(ScenarioPool, CapturesExceptionsAndEmptyResults)
+{
+    SweepSpec spec;
+    ASSERT_EQ(spec.addAxis("m", "8,16,24"), "");
+    auto jobs = spec.expand(smallSpmm());
+
+    auto fn = [](const cli::Options &o) -> CaseResult {
+        if (o.m == 8)
+            fatal("scenario exploded");
+        if (o.m == 16)
+            return {}; // nothing could run
+        CaseResult r;
+        r["canon"] = ExecutionProfile{};
+        r["canon"].cycles = 1;
+        return r;
+    };
+
+    auto results = ScenarioPool(2).run(jobs, fn);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_NE(results[0].error.find("scenario exploded"),
+              std::string::npos);
+    EXPECT_EQ(results[1].error, std::string(kNoArchError));
+    EXPECT_EQ(results[2].error, "");
+    EXPECT_EQ(results[2].cases.at("canon").cycles, 1u);
+}
+
+TEST(ScenarioPool, RealSweepIsDeterministicAcrossWorkerCounts)
+{
+    SweepSpec spec;
+    ASSERT_EQ(spec.addAxis("sparsity", "0.3,0.6"), "");
+    ASSERT_EQ(spec.addAxis("rows", "2,4"), "");
+    auto jobs = spec.expand(smallSpmm());
+
+    auto run = [&](int workers) {
+        return ScenarioPool(workers).run(
+            jobs,
+            [](const cli::Options &o) { return cli::runCases(o); });
+    };
+
+    auto serial = run(1);
+    auto threaded = run(8);
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(serial[i].cases.size(), threaded[i].cases.size());
+        for (const auto &[arch, profile] : serial[i].cases) {
+            const auto &other = threaded[i].cases.at(arch);
+            EXPECT_EQ(profile.cycles, other.cycles)
+                << "job " << i << " arch " << arch;
+            EXPECT_EQ(profile.activity, other.activity)
+                << "job " << i << " arch " << arch;
+        }
+    }
+}
+
+// ---- SweepResult / end-to-end ----------------------------------------
+
+TEST(SweepResult, CombinedTableHasOneRowPerScenarioArch)
+{
+    SweepSpec spec;
+    ASSERT_EQ(spec.addAxis("sparsity", "0.3,0.6"), "");
+    cli::Options base = smallSpmm();
+    base.archs = {"canon", "systolic"};
+    auto jobs = spec.expand(base);
+
+    auto results = ScenarioPool(2).run(
+        jobs, [](const cli::Options &o) { return cli::runCases(o); });
+    SweepResult sweep(std::move(results));
+    EXPECT_EQ(sweep.failureCount(), 0u);
+
+    std::ostringstream os;
+    sweep.table().print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("Scenario"), std::string::npos);
+    EXPECT_NE(text.find("sparsity=0.3"), std::string::npos);
+    EXPECT_NE(text.find("sparsity=0.6"), std::string::npos);
+    EXPECT_NE(text.find("systolic"), std::string::npos);
+}
+
+TEST(SweepResult, FailedScenarioRendersXRow)
+{
+    SweepJob job;
+    job.index = 0;
+    job.options = smallSpmm();
+    job.point = "m=8";
+    ScenarioResult failed;
+    failed.job = job;
+    failed.error = "boom";
+
+    SweepResult sweep({failed});
+    EXPECT_EQ(sweep.failureCount(), 1u);
+    std::ostringstream os;
+    sweep.table().print(os);
+    EXPECT_NE(os.str().find("X"), std::string::npos);
+}
+
+TEST(RunScenario, SweepOutputByteIdenticalAcrossJobCounts)
+{
+    auto run = [](int jobs_flag) {
+        auto parsed = cli::parseArgs(
+            {"--workload", "spmm", "--m", "32", "--k", "32", "--n",
+             "32", "--sweep", "sparsity=0.5,0.7,0.9", "--sweep",
+             "rows=4,8", "--jobs", std::to_string(jobs_flag)});
+        EXPECT_TRUE(parsed.ok) << parsed.error;
+        std::ostringstream out, err;
+        const int rc =
+            cli::runScenario(parsed.options, out, err);
+        EXPECT_EQ(rc, 0) << err.str();
+        EXPECT_EQ(err.str(), "");
+        return out.str();
+    };
+
+    const std::string serial = run(1);
+    const std::string threaded = run(4);
+    EXPECT_EQ(serial, threaded);
+    // All six scenarios must be present.
+    for (const char *point :
+         {"sparsity=0.5 rows=4", "sparsity=0.5 rows=8",
+          "sparsity=0.7 rows=4", "sparsity=0.7 rows=8",
+          "sparsity=0.9 rows=4", "sparsity=0.9 rows=8"})
+        EXPECT_NE(serial.find(point), std::string::npos) << point;
+}
+
+TEST(RunScenario, SweepCsvByteIdenticalAcrossJobCounts)
+{
+    auto run = [](int jobs_flag, const std::string &path) {
+        auto parsed = cli::parseArgs(
+            {"--workload", "gemm", "--m", "16", "--k", "16", "--n",
+             "16", "--sweep", "k=16,32", "--jobs",
+             std::to_string(jobs_flag), "--csv", path});
+        EXPECT_TRUE(parsed.ok) << parsed.error;
+        std::ostringstream out, err;
+        EXPECT_EQ(cli::runScenario(parsed.options, out, err), 0)
+            << err.str();
+        std::ifstream f(path);
+        std::stringstream ss;
+        ss << f.rdbuf();
+        return ss.str();
+    };
+
+    const std::string dir = ::testing::TempDir();
+    const std::string a = run(1, dir + "runner_sweep_1.csv");
+    const std::string b = run(3, dir + "runner_sweep_3.csv");
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.find("Scenario,Point,Arch"), std::string::npos);
+}
+
+TEST(RunScenario, DegenerateSingleRunKeepsClassicReport)
+{
+    auto parsed = cli::parseArgs(
+        {"--workload", "spmm", "--m", "32", "--k", "32", "--n", "32"});
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    std::ostringstream out, err;
+    EXPECT_EQ(cli::runScenario(parsed.options, out, err), 0);
+    EXPECT_EQ(err.str(), "");
+    const std::string text = out.str();
+    // Classic report: fabric description then the per-arch table.
+    EXPECT_NE(text.find("=== canonsim: spmm"), std::string::npos);
+    EXPECT_EQ(text.find("canonsim sweep"), std::string::npos);
+}
+
+TEST(RunScenario, MalformedSweepAxisExitsWithUsageError)
+{
+    auto parsed =
+        cli::parseArgs({"--sweep", "sparsity=0.5,oops"});
+    ASSERT_TRUE(parsed.ok) << parsed.error; // parse defers validation
+    std::ostringstream out, err;
+    EXPECT_EQ(cli::runScenario(parsed.options, out, err), 2);
+    EXPECT_NE(err.str().find("sparsity"), std::string::npos);
+    // Bad usage prints the usage text, like main.cc's parse failure.
+    EXPECT_NE(err.str().find("Usage: canonsim"), std::string::npos);
+}
+
+TEST(RunScenario, RejectsShapeAxesWhenModelPinsTheScenario)
+{
+    auto parsed = cli::parseArgs(
+        {"--model", "longformer", "--sweep", "m=8,16"});
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    std::ostringstream out, err;
+    EXPECT_EQ(cli::runScenario(parsed.options, out, err), 2);
+    EXPECT_NE(err.str().find("has no effect"), std::string::npos);
+
+    // Sweeping only models (no 'none' point) is just as pinned.
+    auto swept = cli::parseArgs(
+        {"--sweep", "model=longformer,llama8b-attn", "--sweep",
+         "m=8,16"});
+    ASSERT_TRUE(swept.ok) << swept.error;
+    std::ostringstream sout, serr;
+    EXPECT_EQ(cli::runScenario(swept.options, sout, serr), 2);
+    EXPECT_NE(serr.str().find("has no effect"), std::string::npos);
+
+    // A 'model' axis (which may contain 'none') re-legitimizes the
+    // shape axes: model=none points are shape scenarios.
+    auto mixed = cli::parseArgs(
+        {"--model", "longformer", "--workload", "gemm",
+         "--m", "16", "--k", "16", "--n", "16",
+         "--sweep", "model=none", "--sweep", "m=16,32"});
+    ASSERT_TRUE(mixed.ok) << mixed.error;
+    std::ostringstream mout, merr;
+    EXPECT_EQ(cli::runScenario(mixed.options, mout, merr), 0)
+        << merr.str();
+    EXPECT_NE(mout.str().find("m=32"), std::string::npos);
+}
+
+} // namespace
+} // namespace runner
+} // namespace canon
