@@ -1,80 +1,14 @@
 /**
  * @file
- * Section 6.5 ablation: "By incorporating compile-time knowledge
- * about the expected sparsity range (S1, S2, S3), Canon achieves an
- * additional ~5% performance improvement on average by adjusting the
- * effective scratchpad range" -- the effective buffer depth is
- * software-managed through the orchestrator FSM even though the
- * physical scratchpad is fixed.
- *
- * We compare the conservative fixed depth (16, used when nothing is
- * known about the input) against the best depth per sparsity range.
+ * Thin entry point: the figure definition lives in bench/figures/
+ * (see adaptiveSpadBench), execution and the shared --jobs/--shard
+ * CLI in the FigureBench machinery on runner::ScenarioPool.
  */
 
-#include "common/table.hh"
-#include "core/fabric.hh"
-#include "kernels/spmm.hh"
-#include "sparse/generate.hh"
-
-using namespace canon;
-
-namespace
-{
-
-Cycle
-runAtDepth(double sparsity, int depth, std::uint64_t seed)
-{
-    CanonConfig cfg;
-    cfg.spadEntries = depth;
-    Rng rng(seed);
-    const auto a = randomSparse(512, 256, sparsity, rng);
-    const auto b = randomDense(256, cfg.cols * kSimdWidth, rng);
-    CanonFabric fabric(cfg);
-    fabric.load(mapSpmm(CsrMatrix::fromDense(a), b, cfg));
-    return fabric.run();
-}
-
-} // namespace
+#include "figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    setQuiet(true);
-    const std::vector<int> candidate_depths = {2, 4, 8, 16, 32, 64};
-
-    Table t("Section 6.5: sparsity-aware effective scratchpad depth");
-    t.header({"Range", "Sparsity", "Fixed-16 cycles", "Best depth",
-              "Tuned cycles", "Gain"});
-
-    double total_gain = 0.0;
-    int cases = 0;
-    for (auto [range, sp] :
-         {std::pair{"S1", 0.15}, {"S2", 0.45}, {"S3", 0.80},
-          std::pair{"S3", 0.92}}) {
-        const std::uint64_t seed = 400 + cases;
-        const auto fixed = runAtDepth(sp, 16, seed);
-        Cycle best = fixed;
-        int best_depth = 16;
-        for (int d : candidate_depths) {
-            const auto c = runAtDepth(sp, d, seed);
-            if (c < best) {
-                best = c;
-                best_depth = d;
-            }
-        }
-        const double gain =
-            (static_cast<double>(fixed) - static_cast<double>(best)) /
-            static_cast<double>(fixed);
-        total_gain += gain;
-        ++cases;
-        t.addRow({range, Table::fmt(sp, 2), Table::fmtInt(fixed),
-                  std::to_string(best_depth), Table::fmtInt(best),
-                  Table::fmt(gain * 100.0, 1) + "%"});
-    }
-    t.addRow({"avg", "-", "-", "-", "-",
-              Table::fmt(total_gain / cases * 100.0, 1) +
-                  "% (paper: ~5%)"});
-    t.print();
-    t.writeCsv("ablation_adaptive_spad.csv");
-    return 0;
+    return canon::bench::adaptiveSpadBench().main(argc, argv);
 }

@@ -1,120 +1,14 @@
 /**
  * @file
- * Row-reorganization ablation. Section 5 excludes ZeD's
- * row-reordering preprocessing from the comparison "as the same can
- * be applied to Canon"; this bench applies it to both and quantifies
- * it: balanced (snake) row order vs the natural order on skewed
- * inputs. Canon benefits when heavy rows would otherwise cluster
- * inside one buffer window; ZeD benefits at its row-granular
- * scheduling.
+ * Thin entry point: the figure definition lives in bench/figures/
+ * (see rowReorderBench), execution and the shared --jobs/--shard
+ * CLI in the FigureBench machinery on runner::ScenarioPool.
  */
 
-#include "baselines/zed.hh"
-#include "common/table.hh"
-#include "core/fabric.hh"
-#include "kernels/spmm.hh"
-#include "sparse/generate.hh"
-#include "sparse/preprocess.hh"
-#include "sparse/reference.hh"
-
-using namespace canon;
-
-namespace
-{
-
-Cycle
-canonCycles(const CsrMatrix &a, const DenseMatrix &b,
-            const CanonConfig &cfg)
-{
-    CanonFabric fabric(cfg);
-    fabric.load(mapSpmm(a, b, cfg));
-    return fabric.run();
-}
-
-std::uint64_t
-zedCycles(const CsrMatrix &a, int n)
-{
-    return ZedModel{}.spmm(a, n).cycles;
-}
-
-} // namespace
+#include "figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    setQuiet(true);
-    const auto cfg = CanonConfig::paper();
-    Rng rng(11);
-
-    Table t("Row-reorganization preprocessing (Section 5 note)");
-    t.header({"Input", "Arch", "Natural order", "Balanced order",
-              "Gain"});
-
-    for (auto [label, a_dense] :
-         {std::pair<const char *, DenseMatrix>{
-              "bimodal 0.55/0.95",
-              randomSparseBimodal(512, 256, 0.55, 0.95, rng)},
-          {"uniform 0.75", randomSparse(512, 256, 0.75, rng)}}) {
-        const auto a = CsrMatrix::fromDense(a_dense);
-        const auto perm = balancedRowOrder(a);
-        const auto a_bal = permuteRows(a, perm);
-        const auto b = randomDense(256, cfg.cols * kSimdWidth, rng);
-
-        // Sanity: permuted execution yields the permuted result.
-        {
-            CanonFabric fabric(cfg);
-            fabric.load(mapSpmm(a_bal, b, cfg));
-            fabric.run();
-            fatalIf(perm.unpermute(fabric.result()) !=
-                        reference::spmm(a, b),
-                    "row reorder changed the result");
-        }
-
-        const auto c_nat = canonCycles(a, b, cfg);
-        const auto c_bal = canonCycles(a_bal, b, cfg);
-        t.addRow({label, "Canon", Table::fmtInt(c_nat),
-                  Table::fmtInt(c_bal),
-                  Table::fmt((1.0 - static_cast<double>(c_bal) /
-                                        static_cast<double>(c_nat)) *
-                                 100.0,
-                             1) +
-                      "%"});
-
-        const auto z_nat = zedCycles(a, cfg.cols * kSimdWidth);
-        const auto z_bal = zedCycles(a_bal, cfg.cols * kSimdWidth);
-        t.addRow({label, "ZeD", Table::fmtInt(z_nat),
-                  Table::fmtInt(z_bal),
-                  Table::fmt((1.0 - static_cast<double>(z_bal) /
-                                        static_cast<double>(z_nat)) *
-                                 100.0,
-                             1) +
-                      "%"});
-
-        // Where reordering actually matters: row-granular scheduling
-        // *without* work stealing.
-        ZedConfig no_steal;
-        no_steal.workStealing = false;
-        ZedModel fixed(no_steal);
-        const auto f_nat =
-            fixed.spmm(a, cfg.cols * kSimdWidth).cycles;
-        const auto f_bal =
-            fixed.spmm(a_bal, cfg.cols * kSimdWidth).cycles;
-        t.addRow({label, "ZeD(no steal)", Table::fmtInt(f_nat),
-                  Table::fmtInt(f_bal),
-                  Table::fmt((1.0 - static_cast<double>(f_bal) /
-                                        static_cast<double>(f_nat)) *
-                                 100.0,
-                             1) +
-                      "%"});
-    }
-    t.print();
-    t.writeCsv("ablation_row_reorder.csv");
-
-    std::puts("\nTakeaway: Canon's K-sliced Gustavson dataflow spreads "
-              "every output row\nacross all orchestrators, so row "
-              "order barely matters -- the insensitivity\nthe paper "
-              "banks on when it drops ZeD's preprocessing from the "
-              "comparison.\nRow order only matters for row-granular "
-              "scheduling without stealing.");
-    return 0;
+    return canon::bench::rowReorderBench().main(argc, argv);
 }

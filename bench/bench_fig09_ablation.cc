@@ -1,50 +1,14 @@
 /**
  * @file
- * Figure 9: the feature ablation expressed as area deltas between
- * Canon and each baseline, derived from the component census of the
- * area model. Paper values: +30 % vs systolic, +9 % vs ZeD, -7 % vs
- * CGRA.
+ * Thin entry point: the figure definition lives in bench/figures/
+ * (see figure09Bench), execution and the shared --jobs/--shard
+ * CLI in the FigureBench machinery on runner::ScenarioPool.
  */
 
-#include "common/table.hh"
-#include "power/area.hh"
-
-using namespace canon;
+#include "figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    AreaModel model;
-    const auto canon_b = model.canon();
-    const auto systolic_b = model.systolic();
-    const auto zed_b = model.zed();
-    const auto cgra_b = model.cgra();
-
-    Table t("Figure 9: Canon's features ablated through its "
-            "baselines (area deltas)");
-    t.header({"Baseline", "Features removed (-) / added (+) vs Canon",
-              "Baseline mm2", "Canon mm2", "Canon delta",
-              "Paper delta"});
-    auto delta = [&](double base) {
-        const double d = canon_b.total() / base - 1.0;
-        return (d >= 0 ? "+" : "") + Table::fmt(d * 100.0, 1) + "%";
-    };
-    t.addRow({"Systolic",
-              "+orchestrators +distributed mem +reconfig NoC +spad",
-              Table::fmt(systolic_b.total(), 3),
-              Table::fmt(canon_b.total(), 3),
-              delta(systolic_b.total()), "+30%"});
-    t.addRow({"ZeD",
-              "-specialized decode -crossbars +orchestrators "
-              "+distributed mem",
-              Table::fmt(zed_b.total(), 3),
-              Table::fmt(canon_b.total(), 3), delta(zed_b.total()),
-              "+9%"});
-    t.addRow({"CGRA", "-instr mem +orchestrators +distributed mem",
-              Table::fmt(cgra_b.total(), 3),
-              Table::fmt(canon_b.total(), 3), delta(cgra_b.total()),
-              "-7%"});
-    t.print();
-    t.writeCsv("fig09_ablation.csv");
-    return 0;
+    return canon::bench::figure09Bench().main(argc, argv);
 }

@@ -1,62 +1,14 @@
 /**
  * @file
- * Figure 10: area breakdown of Canon versus the systolic array.
- * Paper shares: Canon 58/13/16/5/8 % (data memory / scratchpad /
- * compute / routing / control), systolic 83/17 %.
+ * Thin entry point: the figure definition lives in bench/figures/
+ * (see figure10Bench), execution and the shared --jobs/--shard
+ * CLI in the FigureBench machinery on runner::ScenarioPool.
  */
 
-#include "common/table.hh"
-#include "power/area.hh"
-
-using namespace canon;
-
-namespace
-{
-
-void
-printBreakdown(const AreaBreakdown &b, const char *title,
-               const std::map<std::string, double> &paper)
-{
-    Table t(title);
-    t.header({"Component", "mm2", "Share", "Paper"});
-    for (const auto &[name, mm2] : b.componentsMm2) {
-        auto it = paper.find(name);
-        t.addRow({name, Table::fmt(mm2, 4),
-                  Table::fmt(b.share(name) * 100.0, 1) + "%",
-                  it != paper.end()
-                      ? Table::fmt(it->second * 100.0, 0) + "%"
-                      : "-"});
-    }
-    t.addRow({"TOTAL", Table::fmt(b.total(), 4), "100%", "-"});
-    t.print();
-}
-
-} // namespace
+#include "figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    AreaModel model;
-
-    printBreakdown(model.canon(),
-                   "Figure 10a: Canon area breakdown (8x8, 4KB/PE)",
-                   {{"dataMem", 0.58},
-                    {"spad", 0.13},
-                    {"compute", 0.16},
-                    {"routing", 0.05},
-                    {"control", 0.08}});
-
-    printBreakdown(model.systolic(),
-                   "Figure 10b: Systolic array area breakdown",
-                   {{"dataMem", 0.83}, {"compute", 0.17}});
-
-    const double overhead =
-        model.canon().total() / model.systolic().total() - 1.0;
-    Table t("Figure 10: overhead for generality");
-    t.header({"Metric", "Measured", "Paper"});
-    t.addRow({"Canon vs systolic area",
-              "+" + Table::fmt(overhead * 100.0, 1) + "%", "+30%"});
-    t.print();
-    t.writeCsv("fig10_area.csv");
-    return 0;
+    return canon::bench::figure10Bench().main(argc, argv);
 }

@@ -1,113 +1,14 @@
 /**
  * @file
- * Figure 11: runtime power breakdown of Canon's PEs (averaged) for
- * GEMM and sparse CNN/attention workloads at the S1/S2/S3 sparsity
- * ranges, plus the data-driven FSM state-transition counts per range.
- *
- * Workloads mirror the paper's labels: ResNet50-* are
- * activation-sparse conv GEMMs (SpMM), Attention-* are unstructured
- * sparse attention scores (SDDMM). The systolic-array GEMM bar is the
- * reference on the left of the figure.
+ * Thin entry point: the figure definition lives in bench/figures/
+ * (see figure11Bench), execution and the shared --jobs/--shard
+ * CLI in the FigureBench machinery on runner::ScenarioPool.
  */
 
-#include "baselines/systolic.hh"
-#include "common/table.hh"
-#include "power/energy.hh"
-#include "workloads/canon_runner.hh"
-
-using namespace canon;
-
-namespace
-{
-
-struct Row
-{
-    std::string label;
-    ExecutionProfile profile;
-};
-
-} // namespace
+#include "figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    setQuiet(true);
-    const auto cfg = CanonConfig::paper();
-    CanonRunner runner(cfg);
-    EnergyModel energy;
-
-    const double s1 = 0.15, s2 = 0.45, s3 = 0.80;
-
-    std::vector<Row> rows;
-    {
-        SystolicModel sys(SystolicConfig{});
-        auto p = sys.gemm(784, 1152, 128);
-        rows.push_back({"Systolic GEMM (ref)", p});
-    }
-    rows.push_back({"Canon GEMM", runner.gemmShape(784, 1152, 128, 1)});
-    rows.push_back(
-        {"Resnet50-S1", runner.spmmShape(784, 1152, 128, s1, 2)});
-    rows.push_back(
-        {"Attention-S1", runner.sddmmShape(512, 64, 512, s1, 3)});
-    rows.push_back(
-        {"Resnet50-S2", runner.spmmShape(784, 1152, 128, s2, 4)});
-    rows.push_back(
-        {"Attention-S2", runner.sddmmShape(512, 64, 512, s2, 5)});
-    rows.push_back(
-        {"Resnet50-S3", runner.spmmShape(784, 1152, 128, s3, 6)});
-    rows.push_back(
-        {"Attention-S3", runner.sddmmShape(512, 64, 512, s3, 7)});
-
-    Table t("Figure 11: runtime power breakdown of Canon's PEs "
-            "(mW per PE, averaged)");
-    t.header({"Workload", "DataMem", "Spad-Read", "Spad-Write",
-              "Compute", "Ctrl&Routing", "Total/PE"});
-    for (const auto &row : rows) {
-        const auto r = energy.evaluate(row.profile);
-        const double pes = row.profile.peCount
-                               ? static_cast<double>(row.profile.peCount)
-                               : 64.0;
-        auto mw = [&](const std::string &cat) {
-            return Table::fmt(r.category(cat) /
-                                  static_cast<double>(r.cycles) / pes,
-                              3);
-        };
-        const double total_mw =
-            r.totalPj / static_cast<double>(r.cycles) / pes;
-        t.addRow({row.label, mw("dataMem"), mw("spadRead"),
-                  mw("spadWrite"), mw("compute"), mw("controlRouting"),
-                  Table::fmt(total_mw, 3)});
-    }
-    t.print();
-    t.writeCsv("fig11_power.csv");
-
-    // FSM state transitions per sparsity range (paper: S1 1.94e7,
-    // S2 3.29e7, S3 9.77e7 across its full workload set). Absolute
-    // counts depend on the workload set's size, so we also report
-    // transitions normalized per million useful lane-MACs -- the
-    // data-driven decision *rate*, which is what grows with
-    // irregularity.
-    Table ft("Figure 11 (right): data-driven FSM state transitions");
-    ft.header({"Sparsity range", "Transitions", "Per 1M lane-MACs",
-               "Paper (absolute)"});
-    auto transitions = [&](double sp, std::uint64_t seed) {
-        const auto a = runner.spmmShape(784, 1152, 128, sp, seed);
-        const auto b = runner.sddmmShape(512, 64, 512, sp, seed + 1);
-        const auto trans =
-            a.get("stateTransitions") + b.get("stateTransitions");
-        const auto macs = a.get("laneMacs") + b.get("laneMacs");
-        return std::pair{trans, trans * 1'000'000 / macs};
-    };
-    const auto r1 = transitions(s1, 20);
-    const auto r2 = transitions(s2, 22);
-    const auto r3 = transitions(s3, 24);
-    ft.addRow({"S1 (0-30%)", Table::fmtInt(r1.first),
-               Table::fmtInt(r1.second), "1.94e7"});
-    ft.addRow({"S2 (30-60%)", Table::fmtInt(r2.first),
-               Table::fmtInt(r2.second), "3.29e7"});
-    ft.addRow({"S3 (60-95%)", Table::fmtInt(r3.first),
-               Table::fmtInt(r3.second), "9.77e7"});
-    ft.print();
-    ft.writeCsv("fig11_transitions.csv");
-    return 0;
+    return canon::bench::figure11Bench().main(argc, argv);
 }

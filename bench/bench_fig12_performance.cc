@@ -1,43 +1,14 @@
 /**
  * @file
- * Figure 12: speedup (fragility) of the five architectures,
- * normalized to Canon, across the twelve workload classes. "X" marks
- * architectures that cannot run a workload (the dense/sparse
- * accelerators on PolyBench), exactly as in the paper.
- *
- * Values > 1 mean the baseline is faster than Canon on that
- * workload; the paper's qualitative shape to check: near-parity on
- * GEMM, systolic collapse under sparsity, 2:4-systolic parity only on
- * 2:4, ZeD within a few percent on unstructured SpMM, Canon ahead on
- * window attention, CGRA ahead only on the low-DLP BLAS solvers.
+ * Thin entry point: the figure definition lives in bench/figures/
+ * (see figure12Bench), execution and the shared --jobs/--shard
+ * CLI in the FigureBench machinery on runner::ScenarioPool.
  */
 
-#include "bench_util.hh"
-
-using namespace canon;
-using namespace canon::bench;
+#include "figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    setQuiet(true);
-    ArchSuite suite;
-    const auto cases = buildFigure12Cases(suite);
-
-    Table t("Figure 12: normalized performance (baseline / Canon; "
-            "X = cannot run)");
-    std::vector<std::string> header = {"Workload"};
-    for (const auto &a : archOrder())
-        header.push_back(archLabel(a));
-    t.header(header);
-
-    for (const auto &c : cases) {
-        std::vector<std::string> row = {c.label};
-        for (const auto &a : archOrder())
-            row.push_back(cell(normalizedPerformance(c.results, a)));
-        t.addRow(row);
-    }
-    t.print();
-    t.writeCsv("fig12_performance.csv");
-    return 0;
+    return canon::bench::figure12Bench().main(argc, argv);
 }

@@ -1,44 +1,14 @@
 /**
  * @file
- * Figure 13: performance per watt of the five architectures
- * normalized to Canon across the twelve workload classes. Since every
- * architecture performs the same kernel, perf/W reduces to the energy
- * ratio canon/baseline; > 1 means the baseline is more efficient.
- *
- * Qualitative shape from the paper: the systolic array leads on pure
- * dense GEMM (Canon pays its generality tax), everything else
- * follows Figure 12 with ZeD additionally taxed by crossbar/decoder
- * power and the CGRA by per-PE instruction fetch.
+ * Thin entry point: the figure definition lives in bench/figures/
+ * (see figure13Bench), execution and the shared --jobs/--shard
+ * CLI in the FigureBench machinery on runner::ScenarioPool.
  */
 
-#include "bench_util.hh"
-
-using namespace canon;
-using namespace canon::bench;
+#include "figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    setQuiet(true);
-    ArchSuite suite;
-    EnergyModel energy;
-    const auto cases = buildFigure12Cases(suite);
-
-    Table t("Figure 13: normalized perf/W (baseline / Canon; X = "
-            "cannot run)");
-    std::vector<std::string> header = {"Workload"};
-    for (const auto &a : archOrder())
-        header.push_back(archLabel(a));
-    t.header(header);
-
-    for (const auto &c : cases) {
-        std::vector<std::string> row = {c.label};
-        for (const auto &a : archOrder())
-            row.push_back(
-                cell(normalizedPerfPerWatt(c.results, a, energy)));
-        t.addRow(row);
-    }
-    t.print();
-    t.writeCsv("fig13_perfwatt.csv");
-    return 0;
+    return canon::bench::figure13Bench().main(argc, argv);
 }

@@ -1,63 +1,14 @@
 /**
  * @file
- * Figure 14: energy-delay product of the architectures on real ML
- * models, normalized to Canon (lower is better; log scale in the
- * paper). Models span unstructured activation sparsity (ResNet-50,
- * LLaMA-8B), dense MLPs, and Mistral-7B's window-structured
- * attention -- the paper's argument for minimal fragility across
- * kernel *mixtures*.
+ * Thin entry point: the figure definition lives in bench/figures/
+ * (see figure14Bench), execution and the shared --jobs/--shard
+ * CLI in the FigureBench machinery on runner::ScenarioPool.
  */
 
-#include "bench_util.hh"
-
-using namespace canon;
-using namespace canon::bench;
+#include "figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    setQuiet(true);
-    ArchSuite suite;
-    EnergyModel energy;
-
-    const std::vector<ModelSpec> models = {
-        resnet50Conv(0.5),
-        llama8bMlp(0.0),
-        llama8bMlp(0.7),
-        llama8bAttn(0.7),
-        mistral7bMlp(0.0),
-        mistral7bMlp(0.7),
-        mistral7bAttn(),
-        longformerAttn(),
-    };
-
-    Table t("Figure 14: EDP normalized to Canon (lower is better; "
-            "X = cannot run)");
-    std::vector<std::string> header = {"Model"};
-    for (const auto &a : archOrder())
-        header.push_back(archLabel(a));
-    t.header(header);
-
-    std::uint64_t seed = 300;
-    for (const auto &spec : models) {
-        const auto results = suite.model(spec, seed);
-        seed += 10;
-        const auto &canon_p = results.at("canon");
-        const double canon_edp = energy.evaluate(canon_p).edp();
-
-        std::vector<std::string> row = {spec.name};
-        for (const auto &a : archOrder()) {
-            auto it = results.find(a);
-            if (it == results.end()) {
-                row.push_back("X");
-                continue;
-            }
-            const double edp = energy.evaluate(it->second).edp();
-            row.push_back(Table::fmt(edp / canon_edp, 2));
-        }
-        t.addRow(row);
-    }
-    t.print();
-    t.writeCsv("fig14_edp.csv");
-    return 0;
+    return canon::bench::figure14Bench().main(argc, argv);
 }

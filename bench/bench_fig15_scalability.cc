@@ -1,101 +1,14 @@
 /**
  * @file
- * Figure 15: sensitivity to problem/array size and arithmetic
- * intensity. The fabric and the SpMM problem scale together (1x-8x);
- * at each scale several sparsity levels produce different arithmetic
- * intensities. The paper's claim to reproduce: utilization tracks
- * arithmetic intensity, with no clear correlation to scale.
+ * Thin entry point: the figure definition lives in bench/figures/
+ * (see figure15Bench), execution and the shared --jobs/--shard
+ * CLI in the FigureBench machinery on runner::ScenarioPool.
  */
 
-#include "common/table.hh"
-#include "workloads/canon_runner.hh"
-
-using namespace canon;
+#include "figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    setQuiet(true);
-    Table t("Figure 15: compute utilization vs array/problem scale "
-            "and arithmetic intensity");
-    t.header({"Scale", "PEs", "Sparsity", "ArithIntensity(ops/elem)",
-              "Utilization"});
-
-    for (int scale = 1; scale <= 8; ++scale) {
-        CanonConfig cfg;
-        cfg.rows = 8;
-        cfg.cols = 8 * scale; // scale the array out column-wise
-        CanonRunner runner(cfg);
-
-        const std::int64_t m = 96;
-        const std::int64_t k = 32 * scale * 8 / 8 * 8; // K scales too
-        const std::int64_t n = cfg.cols * kSimdWidth;
-
-        for (double sp : {0.30, 0.60, 0.90}) {
-            Rng rng(static_cast<std::uint64_t>(scale) * 100 +
-                    static_cast<std::uint64_t>(sp * 10));
-            const auto a = randomSparse(
-                static_cast<int>(m), static_cast<int>(k), sp, rng);
-            const auto b = randomDense(static_cast<int>(k),
-                                       static_cast<int>(n), rng);
-            const auto csr = CsrMatrix::fromDense(a);
-
-            const auto p = runner.spmmExact(csr, b);
-            const auto lanes = static_cast<std::uint64_t>(
-                cfg.numPes() * kSimdWidth);
-            // Ops per fetched element: 2*N MACs per nnz over the
-            // coordinate+value bytes.
-            const double ai =
-                2.0 * static_cast<double>(csr.nnz()) *
-                static_cast<double>(n) /
-                (static_cast<double>(csr.nnz()) * 3.0 +
-                 static_cast<double>(m) * 2.0);
-            t.addRow({std::to_string(scale) + "x",
-                      std::to_string(cfg.numPes()), Table::fmt(sp, 2),
-                      Table::fmt(ai, 1),
-                      Table::fmt(p.utilization(lanes), 3)});
-        }
-    }
-    t.print();
-    t.writeCsv("fig15_scalability.csv");
-
-    // Control experiment: hold the workload's arithmetic intensity
-    // fixed (same K, same sparsity) while the array scales -- the
-    // paper's claim is that utilization then stays flat.
-    Table t2("Figure 15 (control): fixed arithmetic intensity across "
-             "scales");
-    t2.header({"Scale", "PEs", "Sparsity", "Utilization"});
-    for (int scale : {1, 2, 4, 8}) {
-        CanonConfig cfg;
-        cfg.rows = 8;
-        cfg.cols = 8 * scale;
-        CanonRunner runner(cfg);
-        const std::int64_t k = 256;
-        const std::int64_t n = cfg.cols * kSimdWidth;
-        for (double sp : {0.30, 0.60}) {
-            Rng rng(900 + scale * 10 +
-                    static_cast<std::uint64_t>(sp * 10));
-            // Deep M so fill/drain fractions do not masquerade as a
-            // scale effect.
-            const auto a = randomSparse(256, static_cast<int>(k), sp,
-                                        rng);
-            const auto b = randomDense(static_cast<int>(k),
-                                       static_cast<int>(n), rng);
-            const auto p = runner.spmmExact(CsrMatrix::fromDense(a), b);
-            t2.addRow({std::to_string(scale) + "x",
-                       std::to_string(cfg.numPes()),
-                       Table::fmt(sp, 2),
-                       Table::fmt(p.utilization(static_cast<std::uint64_t>(
-                                      cfg.numPes() * kSimdWidth)),
-                                  3)});
-        }
-    }
-    t2.print();
-    t2.writeCsv("fig15_fixed_ai.csv");
-
-    std::puts("\nExpected shape: in the control table, utilization is "
-              "flat in scale at\nfixed sparsity (fixed arithmetic "
-              "intensity); in the main table it tracks\narithmetic "
-              "intensity, not array size.");
-    return 0;
+    return canon::bench::figure15Bench().main(argc, argv);
 }

@@ -1,84 +1,14 @@
 /**
  * @file
- * Figure 16: off-chip bandwidth required to keep Canon at its compute
- * roofline, versus arithmetic intensity (sparsity rising left to
- * right), for on-chip SRAM sizes 72 KB .. 1152 KB. Reference lines:
- * LPDDR5X x16 (17 GB/s, Table 1's configuration = design point B) and
- * x32 (34 GB/s).
- *
- * Schedule: dense-stationary tiling (Section 6.4) -- B resident in
- * whatever SRAM fits, the sparse A re-streamed once per B tile, C
- * written back once. Compute time comes from utilization measured on
- * the cycle simulator at each sparsity.
+ * Thin entry point: the figure definition lives in bench/figures/
+ * (see figure16Bench), execution and the shared --jobs/--shard
+ * CLI in the FigureBench machinery on runner::ScenarioPool.
  */
 
-#include <cmath>
-
-#include "common/table.hh"
-#include "mem/main_memory.hh"
-#include "workloads/canon_runner.hh"
-
-using namespace canon;
+#include "figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    setQuiet(true);
-    const auto cfg = CanonConfig::paper();
-    CanonRunner runner(cfg);
-
-    // Workload: SpMM with B of 1024x1024 INT8 (1 MB) so that only the
-    // largest SRAM holds it whole; M chosen for a deep stream.
-    const std::int64_t m = 4096, k = 1024, n = 1024;
-    const std::vector<double> sram_kb = {72, 144, 288, 576, 1152};
-
-    Table t("Figure 16: required bandwidth (GB/s) to hit the compute "
-            "roofline");
-    std::vector<std::string> header = {"Sparsity", "AI(ops/B)"};
-    for (double s : sram_kb)
-        header.push_back("SRAM=" + Table::fmt(s, 0) + "KB");
-    t.header(header);
-
-    for (double sp : {0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 0.95}) {
-        // Measure utilization on a proxy simulation at this sparsity.
-        const auto prof = runner.spmmShape(
-            256, k, cfg.cols * kSimdWidth, sp, 77);
-        const double util = std::max(
-            prof.utilization(static_cast<std::uint64_t>(
-                cfg.numPes() * kSimdWidth)),
-            0.05);
-
-        const double nnz = static_cast<double>(m) * k * (1.0 - sp);
-        const double ops = 2.0 * nnz * n; // mul + add per MAC
-        const double compute_cycles =
-            ops / (2.0 * cfg.numMacs() * util);
-        const double seconds = compute_cycles / (cfg.clockGhz * 1e9);
-
-        std::vector<std::string> row = {
-            Table::fmt(sp, 2), ""};
-        bool ai_set = false;
-        for (double s : sram_kb) {
-            const double b_bytes = static_cast<double>(k) * n;
-            const double passes =
-                std::ceil(b_bytes / (s * 1024.0));
-            // B once, A (3 B/nnz) re-streamed per pass, C out (4 B).
-            const double traffic =
-                b_bytes + passes * nnz * 3.0 +
-                static_cast<double>(m) * n * 4.0;
-            if (!ai_set) {
-                row[1] = Table::fmt(ops / traffic, 0);
-                ai_set = true; // report AI at the smallest SRAM
-            }
-            row.push_back(Table::fmt(traffic / seconds / 1e9, 1));
-        }
-        t.addRow(row);
-    }
-    t.print();
-    t.writeCsv("fig16_bandwidth.csv");
-
-    std::puts("\nReference devices: LPDDR5X 16x = 17 GB/s (design "
-              "point B, Table 1);\nLPDDR5X 32x = 34 GB/s (design "
-              "point A). Larger SRAM flattens the curve\n(design "
-              "point C at high arithmetic intensity).");
-    return 0;
+    return canon::bench::figure16Bench().main(argc, argv);
 }

@@ -1,51 +1,14 @@
 /**
  * @file
- * Figure 17: impact of scratchpad depth {1,4,8,16,32,64} on compute
- * utilization across sparsity ranges, on the cycle simulator. The
- * paper's shape: deeper buffers help at >=60 % sparsity (10-20 %
- * utilization over the single-register baseline around depth 16),
- * while very deep buffers stop paying.
+ * Thin entry point: the figure definition lives in bench/figures/
+ * (see figure17Bench), execution and the shared --jobs/--shard
+ * CLI in the FigureBench machinery on runner::ScenarioPool.
  */
 
-#include "common/table.hh"
-#include "core/fabric.hh"
-#include "kernels/spmm.hh"
-#include "sparse/generate.hh"
-
-using namespace canon;
+#include "figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    setQuiet(true);
-    const std::vector<int> depths = {1, 4, 8, 16, 32, 64};
-    const std::vector<double> sparsities = {0.05, 0.15, 0.25, 0.35,
-                                            0.45, 0.55, 0.65, 0.75,
-                                            0.85};
-
-    Table t("Figure 17: compute utilization vs scratchpad depth");
-    std::vector<std::string> header = {"Sparsity"};
-    for (int d : depths)
-        header.push_back("depth=" + std::to_string(d));
-    t.header(header);
-
-    for (double sp : sparsities) {
-        std::vector<std::string> row = {Table::fmt(sp, 2)};
-        for (int d : depths) {
-            CanonConfig cfg;
-            cfg.spadEntries = d;
-            Rng rng(static_cast<std::uint64_t>(sp * 100) + 7);
-            const auto a = randomSparse(512, 256, sp, rng);
-            const auto b =
-                randomDense(256, cfg.cols * kSimdWidth, rng);
-            CanonFabric fabric(cfg);
-            fabric.load(mapSpmm(CsrMatrix::fromDense(a), b, cfg));
-            fabric.run();
-            row.push_back(Table::fmt(fabric.utilization(), 3));
-        }
-        t.addRow(row);
-    }
-    t.print();
-    t.writeCsv("fig17_scratchpad.csv");
-    return 0;
+    return canon::bench::figure17Bench().main(argc, argv);
 }

@@ -1,89 +1,14 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the simulator itself: cycle
- * throughput of the Canon fabric, the orchestrator's LUT path, the
- * systolic reference simulator, and the CGRA mapper. Useful for
- * keeping the cycle-level substrate fast enough for the figure
- * benches.
+ * Thin entry point: the figure definition lives in bench/figures/
+ * (see simThroughputBench), execution and the shared --jobs/--shard
+ * CLI in the FigureBench machinery on runner::ScenarioPool.
  */
 
-#include <benchmark/benchmark.h>
+#include "figures.hh"
 
-#include "baselines/cgra.hh"
-#include "baselines/systolic.hh"
-#include "core/fabric.hh"
-#include "kernels/spmm.hh"
-#include "sparse/generate.hh"
-#include "workloads/polybench.hh"
-
-using namespace canon;
-
-namespace
+int
+main(int argc, char **argv)
 {
-
-void
-BM_CanonSpmmCyclesPerSecond(benchmark::State &state)
-{
-    setQuiet(true);
-    const auto sparsity = static_cast<double>(state.range(0)) / 100.0;
-    CanonConfig cfg;
-    Rng rng(1);
-    const auto a = randomSparse(128, 256, sparsity, rng);
-    const auto b = randomDense(256, cfg.cols * kSimdWidth, rng);
-    const auto csr = CsrMatrix::fromDense(a);
-    const auto mapping = mapSpmm(csr, b, cfg);
-
-    std::uint64_t cycles = 0;
-    for (auto _ : state) {
-        CanonFabric fabric(cfg);
-        fabric.load(mapping);
-        cycles += fabric.run();
-    }
-    state.counters["sim_cycles/s"] = benchmark::Counter(
-        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+    return canon::bench::simThroughputBench().main(argc, argv);
 }
-BENCHMARK(BM_CanonSpmmCyclesPerSecond)->Arg(10)->Arg(50)->Arg(90);
-
-void
-BM_SystolicSim(benchmark::State &state)
-{
-    Rng rng(2);
-    const int n = static_cast<int>(state.range(0));
-    const auto a = randomDense(n, n, rng);
-    const auto b = randomDense(n, n, rng);
-    SystolicConfig cfg{8, 8, SparsitySupport::Dense};
-    for (auto _ : state) {
-        SystolicSim sim(cfg);
-        sim.run(a, b);
-        benchmark::DoNotOptimize(sim.result());
-    }
-}
-BENCHMARK(BM_SystolicSim)->Arg(16)->Arg(32);
-
-void
-BM_LutCompile(benchmark::State &state)
-{
-    for (auto _ : state) {
-        auto prog = buildSpmmProgram();
-        benchmark::DoNotOptimize(prog->lut().lookup(0));
-    }
-}
-BENCHMARK(BM_LutCompile);
-
-void
-BM_CgraMapper(benchmark::State &state)
-{
-    const auto suite = polybenchSuite();
-    CgraMapper mapper;
-    for (auto _ : state) {
-        for (const auto &k : suite) {
-            auto m = mapper.map(k.body, k.recMii);
-            benchmark::DoNotOptimize(m.ii);
-        }
-    }
-}
-BENCHMARK(BM_CgraMapper);
-
-} // namespace
-
-BENCHMARK_MAIN();

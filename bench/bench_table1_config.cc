@@ -1,48 +1,14 @@
 /**
  * @file
- * Table 1: the evaluated Canon configuration.
+ * Thin entry point: the figure definition lives in bench/figures/
+ * (see table1Bench), execution and the shared --jobs/--shard
+ * CLI in the FigureBench machinery on runner::ScenarioPool.
  */
 
-#include "common/table.hh"
-#include "core/config.hh"
-#include "mem/main_memory.hh"
-#include "orch/lut.hh"
-
-using namespace canon;
+#include "figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto cfg = CanonConfig::paper();
-
-    Table t("Table 1: Configuration of the evaluated Canon "
-            "architecture");
-    t.header({"Component", "Configuration"});
-    t.addRow({"Array", std::to_string(cfg.rows) + "x" +
-                           std::to_string(cfg.cols) + " " +
-                           std::to_string(kSimdWidth) +
-                           "-SIMD INT8 array (" +
-                           std::to_string(cfg.numMacs()) + " MACs)"});
-    t.addRow({"SRAM", std::to_string(cfg.dmemBytesPerPe() / 1024) +
-                          "KB per PE; " +
-                          std::to_string(cfg.totalSramBytes() / 1024) +
-                          "KB overall (incl. orchestrator LUTs)"});
-    t.addRow({"Scratchpad",
-              "dual-port, " + std::to_string(cfg.spadEntries) +
-                  " Vec4 entries (" +
-                  std::to_string(cfg.spadBytesPerPe()) +
-                  " B) per PE"});
-    t.addRow({"Orchestrator",
-              std::to_string(cfg.rows) + " orchestrators, 1 per PE "
-                                         "row; " +
-                  std::to_string(FsmLut::bitstreamBytes() / 1024) +
-                  "KB LUT bitstream each"});
-    t.addRow({"Main Memory", lpddr5x16().name + ", " +
-                                 Table::fmt(lpddr5x16().bandwidthGBps,
-                                            0) +
-                                 " GB/s"});
-    t.addRow({"Clock", Table::fmt(cfg.clockGhz, 0) + " GHz"});
-    t.print();
-    t.writeCsv("table1_config.csv");
-    return 0;
+    return canon::bench::table1Bench().main(argc, argv);
 }

@@ -1,6 +1,9 @@
 #include "bench_util.hh"
 
 #include <cmath>
+#include <exception>
+
+#include "common/logging.hh"
 
 namespace canon
 {
@@ -49,45 +52,135 @@ polyGroupCase(PolyGroup group, const ArchSuite &suite)
 
 } // namespace
 
+const std::vector<std::string> &
+figure12Labels()
+{
+    static const std::vector<std::string> labels = {
+        "GEMM",       "SpMM-S1",    "SpMM-S2",      "SpMM-S3",
+        "SpMM-2:4",   "SpMM-2:8",   "SDDMM",        "SDDMM-Win1",
+        "SDDMM-Win2", "PolyB-BLAS", "PolyB-Kernel", "PolyB-Stencil"};
+    return labels;
+}
+
+WorkloadCase
+figure12Case(std::size_t index, const ArchSuite &suite)
+{
+    const std::string &label = figure12Labels().at(index);
+    switch (index) {
+      // Shapes follow the paper's layer regime: K in the thousands
+      // (hidden dimensions), so per-row-slice non-zero populations
+      // are realistic.
+      case 0:
+        return {label, suite.gemm(256, 512, 256, 101)};
+
+      // Unstructured sparsity ranges: S1 0-30%, S2 30-60%, S3 60-95%.
+      // S3 additionally carries the skewed row populations of real
+      // activation tensors (Section 6.2).
+      case 1:
+        return {label, suite.spmm(512, 1024, 256, 0.15, 102)};
+      case 2:
+        return {label, suite.spmm(512, 1024, 256, 0.45, 103)};
+      case 3:
+        return {label,
+                suite.spmmBimodal(512, 1024, 256, 0.65, 0.95, 104)};
+
+      case 4:
+        return {label, suite.spmmNm(512, 1024, 256, 2, 4, 105)};
+      case 5:
+        return {label, suite.spmmNm(512, 1024, 256, 2, 8, 106)};
+
+      case 6:
+        return {label, suite.sddmm(512, 32, 512, 0.70, 107)};
+      // Win1: Longformer on BERT (window 512, seq 4K, head dim 64).
+      case 7:
+        return {label, suite.sddmmWindow(4096, 64, 512, 108)};
+      // Win2: Mistral-7B (window 4K, context 16K, head dim 128).
+      case 8:
+        return {label, suite.sddmmWindow(16384, 128, 4096, 109)};
+
+      case 9:
+        return polyGroupCase(PolyGroup::Blas, suite);
+      case 10:
+        return polyGroupCase(PolyGroup::Kernel, suite);
+      case 11:
+        return polyGroupCase(PolyGroup::Stencil, suite);
+      default:
+        fatal("figure12Case: index ", index, " out of range");
+    }
+}
+
 std::vector<WorkloadCase>
 buildFigure12Cases(const ArchSuite &suite)
 {
     std::vector<WorkloadCase> cases;
-
-    // Shapes follow the paper's layer regime: K in the thousands
-    // (hidden dimensions), so per-row-slice non-zero populations are
-    // realistic.
-    cases.push_back({"GEMM", suite.gemm(256, 512, 256, 101)});
-
-    // Unstructured sparsity ranges: S1 0-30%, S2 30-60%, S3 60-95%.
-    // S3 additionally carries the skewed row populations of real
-    // activation tensors (Section 6.2).
-    cases.push_back(
-        {"SpMM-S1", suite.spmm(512, 1024, 256, 0.15, 102)});
-    cases.push_back(
-        {"SpMM-S2", suite.spmm(512, 1024, 256, 0.45, 103)});
-    cases.push_back(
-        {"SpMM-S3", suite.spmmBimodal(512, 1024, 256, 0.65, 0.95,
-                                      104)});
-
-    cases.push_back(
-        {"SpMM-2:4", suite.spmmNm(512, 1024, 256, 2, 4, 105)});
-    cases.push_back(
-        {"SpMM-2:8", suite.spmmNm(512, 1024, 256, 2, 8, 106)});
-
-    cases.push_back(
-        {"SDDMM", suite.sddmm(512, 32, 512, 0.70, 107)});
-    // Win1: Longformer on BERT (window 512, seq 4K, head dim 64).
-    cases.push_back(
-        {"SDDMM-Win1", suite.sddmmWindow(4096, 64, 512, 108)});
-    // Win2: Mistral-7B (window 4K, context 16K, head dim 128).
-    cases.push_back(
-        {"SDDMM-Win2", suite.sddmmWindow(16384, 128, 4096, 109)});
-
-    cases.push_back(polyGroupCase(PolyGroup::Blas, suite));
-    cases.push_back(polyGroupCase(PolyGroup::Kernel, suite));
-    cases.push_back(polyGroupCase(PolyGroup::Stencil, suite));
+    for (std::size_t i = 0; i < figure12Labels().size(); ++i)
+        cases.push_back(figure12Case(i, suite));
     return cases;
+}
+
+const char *
+benchUsageText()
+{
+    return "Options:\n"
+           "  --jobs N     worker threads (default: hardware"
+           " concurrency,\n"
+           "               except timing benches which default to 1;\n"
+           "               output is byte-identical regardless of N)\n"
+           "  --shard I/N  run slice I of N of the job list"
+           " (default 0/1);\n"
+           "               shard CSVs concatenate in shard order to"
+           " the\n"
+           "               full CSV (only shard 0 writes the header)\n"
+           "  --help       show this text and exit\n";
+}
+
+std::string
+parseBenchArgs(const std::vector<std::string> &args, BenchOptions &out)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        std::string key = args[i];
+        std::string value;
+        bool have_value = false;
+
+        if (auto eq = key.find('='); eq != std::string::npos) {
+            value = key.substr(eq + 1);
+            key = key.substr(0, eq);
+            have_value = true;
+        }
+
+        if (key == "--help" || key == "-h") {
+            out.showHelp = true;
+            continue;
+        }
+        if (key != "--jobs" && key != "--shard")
+            return "unknown option '" + key + "' (see --help)";
+        if (!have_value) {
+            if (i + 1 >= args.size())
+                return "option '" + key + "' expects a value";
+            value = args[++i];
+        }
+
+        if (key == "--jobs") {
+            int v = 0;
+            try {
+                std::size_t pos = 0;
+                v = std::stoi(value, &pos);
+                if (pos != value.size())
+                    v = 0;
+            } catch (const std::exception &) {
+                v = 0;
+            }
+            if (v < 1 || v > 256)
+                return "option '--jobs' expects an integer in"
+                       " [1, 256], got '" + value + "'";
+            out.jobs = v;
+        } else {
+            std::string err = runner::parseShard(value, out.shard);
+            if (!err.empty())
+                return "option '--shard': " + err;
+        }
+    }
+    return {};
 }
 
 } // namespace bench

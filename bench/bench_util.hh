@@ -1,9 +1,10 @@
 /**
  * @file
- * Shared helpers for the per-figure bench binaries: the Figure 12/13
- * workload matrix, normalization against Canon, and pretty-printing
- * conventions ("X" marks architectures that cannot run a workload,
- * exactly as in the paper's figures).
+ * Shared helpers for the per-figure bench binaries: the common
+ * --jobs/--shard CLI, the Figure 12/13 workload matrix, normalization
+ * against Canon, and pretty-printing conventions ("X" marks
+ * architectures that cannot run a workload, exactly as in the paper's
+ * figures).
  */
 
 #ifndef CANON_BENCH_BENCH_UTIL_HH
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "figure_spec.hh"
 #include "power/energy.hh"
 #include "workloads/polybench.hh"
 #include "workloads/suite.hh"
@@ -46,6 +48,18 @@ archLabel(const std::string &a)
     return "Canon";
 }
 
+/**
+ * Parse a figure bench's argument vector (--jobs N, --shard I/N,
+ * --help; both "--key value" and "--key=value" spellings). Returns an
+ * empty string on success, otherwise the error message. This is the
+ * one CLI grammar every bench binary shares.
+ */
+std::string parseBenchArgs(const std::vector<std::string> &args,
+                           BenchOptions &out);
+
+/** The shared --jobs/--shard usage text. */
+const char *benchUsageText();
+
 /** One x-axis entry of Figures 12/13. */
 struct WorkloadCase
 {
@@ -53,7 +67,17 @@ struct WorkloadCase
     CaseResult results; //!< absent arch => "X"
 };
 
-/** Build the full Figure 12/13 workload matrix. */
+/** The twelve x-axis labels of Figures 12/13, in paper order. */
+const std::vector<std::string> &figure12Labels();
+
+/**
+ * Build x-axis entry @p index of Figures 12/13. Entries are
+ * independent (each derives its RNG seeds from its own index), so
+ * the grid can run on the worker pool in any order.
+ */
+WorkloadCase figure12Case(std::size_t index, const ArchSuite &suite);
+
+/** Build the full Figure 12/13 workload matrix serially. */
 std::vector<WorkloadCase> buildFigure12Cases(const ArchSuite &suite);
 
 /** cycles(canon) / cycles(arch): >1 means arch is faster. */

@@ -1,0 +1,30 @@
+#include "figures.hh"
+
+namespace canon
+{
+namespace bench
+{
+
+const std::vector<FigureEntry> &
+figureRegistry()
+{
+    static const std::vector<FigureEntry> entries = {
+        {"bench_ablation_adaptive_spad", adaptiveSpadBench},
+        {"bench_ablation_row_reorder", rowReorderBench},
+        {"bench_fig09_ablation", figure09Bench},
+        {"bench_fig10_area", figure10Bench},
+        {"bench_fig11_power", figure11Bench},
+        {"bench_fig12_performance", figure12Bench},
+        {"bench_fig13_perfwatt", figure13Bench},
+        {"bench_fig14_edp", figure14Bench},
+        {"bench_fig15_scalability", figure15Bench},
+        {"bench_fig16_bandwidth", figure16Bench},
+        {"bench_fig17_scratchpad", figure17Bench},
+        {"bench_sim_throughput", simThroughputBench},
+        {"bench_table1_config", table1Bench},
+    };
+    return entries;
+}
+
+} // namespace bench
+} // namespace canon

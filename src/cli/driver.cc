@@ -5,6 +5,7 @@
 #include "common/table.hh"
 #include "runner/aggregate.hh"
 #include "runner/pool.hh"
+#include "runner/shard.hh"
 #include "runner/sweep.hh"
 #include "workloads/models.hh"
 
@@ -124,7 +125,7 @@ renderSingle(const Options &opt, const runner::ScenarioResult &result,
 
 /** Render the combined sweep report. */
 int
-renderSweep(const Options &opt,
+renderSweep(const Options &opt, std::size_t total,
             std::vector<runner::ScenarioResult> results,
             std::ostream &out, std::ostream &err)
 {
@@ -132,9 +133,17 @@ renderSweep(const Options &opt,
     runner::SweepResult sweep(std::move(results));
 
     // Deliberately silent about --jobs: sweep output must be
-    // byte-identical no matter how many workers executed it.
-    out << "canonsim sweep: " << count << " scenario"
-        << (count == 1 ? "" : "s") << "\n";
+    // byte-identical no matter how many workers executed it. The
+    // shard, by contrast, changes which scenarios this process owns,
+    // so it is part of the report.
+    out << "canonsim sweep: ";
+    if (opt.shard.whole())
+        out << count << " scenario" << (count == 1 ? "" : "s")
+            << "\n";
+    else
+        out << count << " of " << total << " scenario"
+            << (total == 1 ? "" : "s") << " (shard "
+            << opt.shard.label() << ")\n";
 
     Table table = sweep.table();
     table.print(out);
@@ -145,7 +154,9 @@ renderSweep(const Options &opt,
                 << "' failed: " << r.error << "\n";
 
     if (!opt.csvPath.empty()) {
-        if (!table.writeCsv(opt.csvPath)) {
+        // Shard 0 owns the CSV header; concatenating the shard files
+        // in order then reproduces the unsharded CSV byte for byte.
+        if (!table.writeCsv(opt.csvPath, opt.shard.index == 0)) {
             err << "canonsim: cannot write CSV to " << opt.csvPath
                 << "\n";
             return 1;
@@ -192,14 +203,25 @@ runScenario(const Options &opt, std::ostream &out, std::ostream &err)
         }
     }
 
-    const std::vector<runner::SweepJob> jobs = spec.expand(opt);
+    std::vector<runner::SweepJob> jobs = spec.expand(opt);
+    const std::size_t total = jobs.size();
+    if (!opt.shard.whole()) {
+        const auto [first, last] = runner::shardRange(opt.shard, total);
+        jobs = std::vector<runner::SweepJob>(
+            jobs.begin() + static_cast<std::ptrdiff_t>(first),
+            jobs.begin() + static_cast<std::ptrdiff_t>(last));
+    }
+
     runner::ScenarioPool pool(opt.jobs);
     std::vector<runner::ScenarioResult> results =
         pool.run(jobs, [](const Options &o) { return runCases(o); });
 
-    if (opt.sweepAxes.empty())
+    // A sharded run always uses the sweep report, even for a single
+    // scenario: its slice may be empty and its CSV must obey the
+    // shard concatenation contract.
+    if (opt.sweepAxes.empty() && opt.shard.whole())
         return renderSingle(opt, results.front(), out, err);
-    return renderSweep(opt, std::move(results), out, err);
+    return renderSweep(opt, total, std::move(results), out, err);
 }
 
 } // namespace cli

@@ -279,6 +279,10 @@ usageText()
         "  --jobs N          worker threads for sweep execution\n"
         "                    (default 1; results are deterministic\n"
         "                    regardless of N)\n"
+        "  --shard I/N       run slice I of N of the expanded job\n"
+        "                    list (default 0/1 = everything); shard\n"
+        "                    CSVs concatenate in order to the full\n"
+        "                    CSV (only shard 0 writes the header)\n"
         "\n"
         "Output:\n"
         "  --csv PATH        also write the stats table as CSV\n"
@@ -392,6 +396,10 @@ parseArgs(const std::vector<std::string> &args)
                 return fail("option '--jobs' expects an integer in"
                             " [1, 256], got '" + value + "'");
             opt.jobs = static_cast<int>(v);
+        } else if (key == "--shard") {
+            std::string err = runner::parseShard(value, opt.shard);
+            if (!err.empty())
+                return fail("option '--shard': " + err);
         } else if (key.rfind("--", 0) == 0) {
             std::string err =
                 applyScenarioOption(opt, key.substr(2), value);

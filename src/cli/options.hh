@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/config.hh"
+#include "runner/shard.hh"
 
 namespace canon
 {
@@ -76,6 +77,13 @@ struct Options
 
     /** Worker threads for sweep execution. */
     int jobs = 1;
+
+    /**
+     * This process's slice of the expanded job list (--shard i/n).
+     * The default whole shard runs everything; shards concatenate in
+     * order (see runner/shard.hh for the ownership contract).
+     */
+    runner::Shard shard;
 
     std::string csvPath; //!< also dump the stats table as CSV
     bool showHelp = false;

@@ -86,7 +86,7 @@ Table::print() const
 }
 
 void
-Table::writeCsv(std::ostream &os) const
+Table::writeCsv(std::ostream &os, bool with_header) const
 {
     // RFC-4180 quoting: thousands-separated integers (fmtInt) would
     // otherwise split into multiple CSV fields.
@@ -107,21 +107,22 @@ Table::writeCsv(std::ostream &os) const
             os << (c ? "," : "") << escape(row[c]);
         os << "\n";
     };
-    write_row(header_);
+    if (with_header)
+        write_row(header_);
     for (const auto &row : rows_)
         write_row(row);
     os.flush();
 }
 
 bool
-Table::writeCsv(const std::string &path) const
+Table::writeCsv(const std::string &path, bool with_header) const
 {
     std::ofstream f(path);
     if (!f) {
         warn("Table '", title_, "': cannot open ", path, " for CSV output");
         return false;
     }
-    writeCsv(f);
+    writeCsv(f, with_header);
     return f.good();
 }
 

@@ -40,11 +40,16 @@ class Table
     /** Render the aligned table to stdout. */
     void print() const;
 
-    /** Write the table as CSV rows to @p os. */
-    void writeCsv(std::ostream &os) const;
+    /**
+     * Write the table as CSV rows to @p os. Sharded producers pass
+     * @p with_header = false for every shard but the first, so that
+     * concatenating the shard files in order reproduces the full CSV.
+     */
+    void writeCsv(std::ostream &os, bool with_header = true) const;
 
     /** Write the table as CSV to @p path; false if it can't open. */
-    bool writeCsv(const std::string &path) const;
+    bool writeCsv(const std::string &path,
+                  bool with_header = true) const;
 
   private:
     std::string title_;

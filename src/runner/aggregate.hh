@@ -4,7 +4,14 @@
  * pool run and renders them as one combined table (one row per
  * scenario x architecture) suitable for printing and CSV export.
  * Row order follows job expansion order, so sweep output is
- * reproducible byte-for-byte across worker counts.
+ * reproducible byte-for-byte across worker counts; for a sharded run
+ * the results are a contiguous expansion-order slice and the
+ * rendered rows concatenate across shards in shard order.
+ *
+ * Ownership and thread-safety: SweepResult takes the scenario
+ * results by value and the free helpers below are pure functions of
+ * their arguments; everything here runs single-threaded after the
+ * pool has joined its workers. Rendering never re-runs a scenario.
  */
 
 #ifndef CANON_RUNNER_AGGREGATE_HH

@@ -9,42 +9,32 @@ namespace canon
 namespace runner
 {
 
-std::vector<ScenarioResult>
-ScenarioPool::run(
-    const std::vector<SweepJob> &jobs,
-    const std::function<CaseResult(const cli::Options &)> &fn) const
+void
+ScenarioPool::forEach(
+    std::size_t count,
+    const std::function<void(std::size_t)> &task) const
 {
-    std::vector<ScenarioResult> results(jobs.size());
-    for (std::size_t i = 0; i < jobs.size(); ++i)
-        results[i].job = jobs[i];
-    if (jobs.empty())
-        return results;
+    if (count == 0)
+        return;
 
     std::atomic<std::size_t> next{0};
     auto worker = [&]() {
         for (;;) {
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= jobs.size())
+            if (i >= count)
                 return;
-            ScenarioResult &r = results[i];
-            try {
-                r.cases = fn(jobs[i].options);
-                if (r.cases.empty())
-                    r.error = kNoArchError;
-            } catch (const std::exception &e) {
-                r.error = e.what();
-            }
+            task(i);
         }
     };
 
     const int n = std::clamp(
-        workers_, 1, static_cast<int>(std::min<std::size_t>(
-                         jobs.size(), 256)));
+        workers_, 1,
+        static_cast<int>(std::min<std::size_t>(count, 256)));
     if (n == 1) {
         // Degenerate pool: run inline, no thread spawn.
         worker();
-        return results;
+        return;
     }
 
     std::vector<std::thread> threads;
@@ -53,6 +43,29 @@ ScenarioPool::run(
         threads.emplace_back(worker);
     for (auto &t : threads)
         t.join();
+}
+
+std::vector<ScenarioResult>
+ScenarioPool::run(
+    const std::vector<SweepJob> &jobs,
+    const std::function<CaseResult(const cli::Options &)> &fn) const
+{
+    std::vector<ScenarioResult> results(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        results[i].job = jobs[i];
+
+    forEach(jobs.size(), [&](std::size_t i) {
+        ScenarioResult &r = results[i];
+        try {
+            r.cases = fn(jobs[i].options);
+            if (r.cases.empty())
+                r.error = kNoArchError;
+        } catch (const std::exception &e) {
+            r.error = e.what();
+        } catch (...) {
+            r.error = "unknown exception";
+        }
+    });
     return results;
 }
 

@@ -1,20 +1,39 @@
 /**
  * @file
- * Worker-pool execution of sweep jobs.
+ * Worker-pool execution of independent jobs.
  *
- * Workers pull job indices from a shared atomic counter, so the pool
- * never partitions work statically (one slow scenario cannot strand
- * a whole stripe behind it). Each result lands at its job's index,
- * which makes the output ordering -- and therefore the rendered
- * table and CSV -- deterministic and independent of thread count and
- * scheduling.
+ * The pool is three layers, each built on the one below:
+ *
+ *  - forEach(count, task): the type-erased core. Workers pull job
+ *    indices from a shared atomic counter, so the pool never
+ *    partitions work statically (one slow job cannot strand a whole
+ *    stripe behind it). @p task must not throw; wrap it if it can.
+ *  - map<R>(count, fn): runs fn(i) for every index and collects the
+ *    returned values at their job index. An fn that throws fails the
+ *    whole map with the lowest-indexed error after every job has
+ *    been attempted.
+ *  - run(jobs, fn): the canonsim scenario adapter. A scenario that
+ *    throws (or yields nothing) is captured as a failed
+ *    ScenarioResult; the remaining scenarios still run.
+ *
+ * Thread-safety and ordering contract (all entry points):
+ *  - @p fn / @p task is called concurrently from up to workers()
+ *    threads, each call with a distinct job index; it must not touch
+ *    shared mutable state without its own synchronization.
+ *  - Each result lands at its job's index, which makes the output
+ *    ordering -- and therefore any rendered table or CSV --
+ *    deterministic and independent of thread count and scheduling.
+ *  - The pool itself is stateless across calls; a const ScenarioPool
+ *    may be shared freely.
  */
 
 #ifndef CANON_RUNNER_POOL_HH
 #define CANON_RUNNER_POOL_HH
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -45,6 +64,51 @@ class ScenarioPool
     explicit ScenarioPool(int workers) : workers_(workers) {}
 
     int workers() const { return workers_; }
+
+    /**
+     * Run @p task for every index in [0, count), spread across the
+     * worker threads. @p task must not throw: this is the primitive
+     * the error-capturing entry points below are built on.
+     */
+    void forEach(std::size_t count,
+                 const std::function<void(std::size_t)> &task) const;
+
+    /**
+     * Run fn(i) for every index in [0, count) and collect the
+     * returned values in index order. If any call throws, every
+     * other job still runs, then the error of the lowest-indexed
+     * failed job is rethrown as std::runtime_error.
+     */
+    template <typename R>
+    std::vector<R> map(std::size_t count,
+                       const std::function<R(std::size_t)> &fn) const
+    {
+        std::vector<R> results(count);
+        std::vector<std::string> errors(count);
+        // Failure is tracked separately from the message so an
+        // exception with an empty what() still fails the map.
+        std::vector<char> job_failed(count, 0);
+        std::atomic<bool> any_failed{false};
+        forEach(count, [&](std::size_t i) {
+            try {
+                results[i] = fn(i);
+            } catch (const std::exception &e) {
+                errors[i] = e.what();
+                job_failed[i] = 1;
+                any_failed.store(true, std::memory_order_relaxed);
+            } catch (...) {
+                errors[i] = "unknown exception";
+                job_failed[i] = 1;
+                any_failed.store(true, std::memory_order_relaxed);
+            }
+        });
+        if (any_failed.load())
+            for (std::size_t i = 0; i < count; ++i)
+                if (job_failed[i])
+                    throw std::runtime_error(
+                        "job " + std::to_string(i) + ": " + errors[i]);
+        return results;
+    }
 
     /**
      * Run every job through @p fn (a CaseResult producer, typically

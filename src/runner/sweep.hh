@@ -9,6 +9,15 @@
  * cannot fail and a malformed sweep is reported before any simulation
  * starts. Expansion order is deterministic: axes vary like nested
  * loops in declaration order, the last-declared axis fastest.
+ *
+ * Ownership and thread-safety: a SweepSpec owns its axes outright
+ * and expand() returns jobs that own copies of their Options, so a
+ * job list outlives the spec and may be consumed from any thread.
+ * Mutation (addAxis) is not synchronized -- build the spec on one
+ * thread, then share it const. The expansion order is the anchor of
+ * the whole subsystem's determinism contract: job index i always
+ * denotes the same scenario, no matter how many workers or shards
+ * later execute the list (see pool.hh and shard.hh).
  */
 
 #ifndef CANON_RUNNER_SWEEP_HH

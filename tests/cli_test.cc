@@ -169,6 +169,45 @@ TEST(CliOptions, RejectsMalformedSweepAndJobs)
     EXPECT_FALSE(parse({"--jobs", "many"}).ok);
 }
 
+TEST(CliOptions, ParsesShardFlag)
+{
+    auto res = parse({"--shard", "1/4"});
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.options.shard.index, 1);
+    EXPECT_EQ(res.options.shard.count, 4);
+    EXPECT_FALSE(res.options.shard.whole());
+
+    // Default: the whole job list.
+    auto plain = parse({});
+    ASSERT_TRUE(plain.ok);
+    EXPECT_TRUE(plain.options.shard.whole());
+
+    // The '=' spelling works like every other flag.
+    auto eq = parse({"--shard=0/2"});
+    ASSERT_TRUE(eq.ok) << eq.error;
+    EXPECT_EQ(eq.options.shard.count, 2);
+}
+
+TEST(CliOptions, RejectsMalformedShard)
+{
+    EXPECT_FALSE(parse({"--shard", "2"}).ok);    // no '/'
+    EXPECT_FALSE(parse({"--shard", "2/2"}).ok);  // index == count
+    EXPECT_FALSE(parse({"--shard", "-1/2"}).ok); // negative index
+    EXPECT_FALSE(parse({"--shard", "0/0"}).ok);  // zero count
+    EXPECT_FALSE(parse({"--shard", "a/b"}).ok);  // not numbers
+    EXPECT_FALSE(parse({"--shard", "1/9999"}).ok); // beyond kMaxShards
+}
+
+TEST(CliOptions, ShardIsNotSweepable)
+{
+    auto res = parse({"--sweep", "shard=0/2,1/2"});
+    ASSERT_TRUE(res.ok) << res.error; // validated by the runner
+    std::ostringstream out, err;
+    EXPECT_EQ(runScenario(res.options, out, err), 2);
+    EXPECT_NE(err.str().find("not sweepable"), std::string::npos)
+        << err.str();
+}
+
 TEST(CliOptions, ParsesKnownModelAndRejectsUnknown)
 {
     auto res = parse({"--model", "llama8b-attn"});

@@ -16,6 +16,7 @@
 #include "common/logging.hh"
 #include "runner/aggregate.hh"
 #include "runner/pool.hh"
+#include "runner/shard.hh"
 #include "runner/sweep.hh"
 
 namespace canon
@@ -156,7 +157,112 @@ TEST(SweepSpec, MakeSweepSpecReportsFirstError)
     EXPECT_NE(err.find("sparsity"), std::string::npos) << err;
 }
 
+// ---- Shard splitter ---------------------------------------------------
+
+TEST(Shard, ParsesValidSpecs)
+{
+    Shard s;
+    EXPECT_EQ(parseShard("0/1", s), "");
+    EXPECT_TRUE(s.whole());
+
+    EXPECT_EQ(parseShard("3/8", s), "");
+    EXPECT_EQ(s.index, 3);
+    EXPECT_EQ(s.count, 8);
+    EXPECT_FALSE(s.whole());
+    EXPECT_EQ(s.label(), "3/8");
+}
+
+TEST(Shard, RejectsMalformedSpecs)
+{
+    Shard s{7, 9}; // must stay untouched on failure
+    for (const char *bad :
+         {"", "2", "/", "2/", "/2", "2/2", "3/2", "-1/2", "0/0",
+          "0/-3", "a/b", "1/2x", "1.5/2", "0/9999"}) {
+        EXPECT_NE(parseShard(bad, s), "") << bad;
+        EXPECT_EQ(s.index, 7) << bad;
+        EXPECT_EQ(s.count, 9) << bad;
+    }
+}
+
+TEST(Shard, RangesPartitionTheJobList)
+{
+    // Union of all shards == [0, total), disjoint, in order -- for
+    // totals smaller than, equal to, and larger than the shard count.
+    for (std::size_t total : {0u, 1u, 2u, 3u, 7u, 8u, 9u, 100u}) {
+        for (int n : {1, 2, 3, 4, 8}) {
+            std::size_t expect_begin = 0;
+            for (int i = 0; i < n; ++i) {
+                const auto [first, last] =
+                    shardRange(Shard{i, n}, total);
+                EXPECT_EQ(first, expect_begin)
+                    << "total=" << total << " shard=" << i << "/" << n;
+                EXPECT_LE(first, last);
+                expect_begin = last;
+            }
+            EXPECT_EQ(expect_begin, total) << "total=" << total
+                                           << " n=" << n;
+        }
+    }
+}
+
+TEST(Shard, SlicesAreBalancedWithinOneJob)
+{
+    const std::size_t total = 10;
+    for (int i = 0; i < 3; ++i) {
+        const auto [first, last] = shardRange(Shard{i, 3}, total);
+        const std::size_t size = last - first;
+        EXPECT_GE(size, 3u);
+        EXPECT_LE(size, 4u);
+    }
+}
+
+TEST(Shard, MoreShardsThanJobsYieldsEmptySlices)
+{
+    // 2 jobs over 5 shards: some shards own nothing, and that is a
+    // legal, silent no-op rather than an error.
+    std::size_t owned = 0, empty_shards = 0;
+    for (int i = 0; i < 5; ++i) {
+        const auto [first, last] = shardRange(Shard{i, 5}, 2);
+        owned += last - first;
+        if (first == last)
+            ++empty_shards;
+    }
+    EXPECT_EQ(owned, 2u);
+    EXPECT_EQ(empty_shards, 3u);
+
+    // The fully degenerate case: no jobs at all.
+    const auto [first, last] = shardRange(Shard{1, 4}, 0);
+    EXPECT_EQ(first, last);
+}
+
 // ---- ScenarioPool -----------------------------------------------------
+
+TEST(ScenarioPool, MapCollectsResultsAtTheirIndex)
+{
+    const auto results = ScenarioPool(4).map<std::size_t>(
+        32, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(results.size(), 32u);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i], i * i);
+}
+
+TEST(ScenarioPool, MapRethrowsLowestIndexedFailure)
+{
+    try {
+        ScenarioPool(4).map<int>(16, [](std::size_t i) -> int {
+            if (i == 11 || i == 5)
+                fatal("job ", i, " exploded");
+            return static_cast<int>(i);
+        });
+        FAIL() << "map() should have thrown";
+    } catch (const std::runtime_error &e) {
+        // Every job ran; the reported failure is the first by index,
+        // independent of scheduling.
+        EXPECT_NE(std::string(e.what()).find("job 5 exploded"),
+                  std::string::npos)
+            << e.what();
+    }
+}
 
 TEST(ScenarioPool, EmptyJobListYieldsNoResults)
 {
@@ -340,6 +446,78 @@ TEST(RunScenario, SweepCsvByteIdenticalAcrossJobCounts)
     EXPECT_FALSE(a.empty());
     EXPECT_EQ(a, b);
     EXPECT_NE(a.find("Scenario,Point,Arch"), std::string::npos);
+}
+
+TEST(RunScenario, ShardCsvsConcatenateToTheFullSweepCsv)
+{
+    auto run = [](const std::string &shard, const std::string &path) {
+        std::vector<std::string> args = {
+            "--workload", "gemm", "--m", "16", "--k", "16", "--n",
+            "16", "--sweep", "k=16,32,48", "--sweep", "rows=2,4",
+            "--csv", path};
+        if (!shard.empty()) {
+            args.push_back("--shard");
+            args.push_back(shard);
+        }
+        auto parsed = cli::parseArgs(args);
+        EXPECT_TRUE(parsed.ok) << parsed.error;
+        std::ostringstream out, err;
+        EXPECT_EQ(cli::runScenario(parsed.options, out, err), 0)
+            << err.str();
+        std::ifstream f(path);
+        std::stringstream ss;
+        ss << f.rdbuf();
+        return ss.str();
+    };
+
+    const std::string dir = ::testing::TempDir();
+    const std::string full = run("", dir + "shard_full.csv");
+    EXPECT_FALSE(full.empty());
+
+    // Any shard count recombines to the serial CSV: only shard 0
+    // carries the header, every slice keeps expansion order.
+    for (int n : {2, 3, 4}) {
+        std::string merged;
+        for (int i = 0; i < n; ++i)
+            merged += run(std::to_string(i) + "/" + std::to_string(n),
+                          dir + "shard_part.csv");
+        EXPECT_EQ(merged, full) << "n=" << n;
+    }
+}
+
+TEST(RunScenario, ShardedRunReportsItsSlice)
+{
+    auto parsed = cli::parseArgs({"--workload", "gemm", "--m", "16",
+                                  "--k", "16", "--n", "16", "--sweep",
+                                  "k=16,32", "--shard", "1/2"});
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    std::ostringstream out, err;
+    EXPECT_EQ(cli::runScenario(parsed.options, out, err), 0)
+        << err.str();
+    EXPECT_NE(out.str().find("1 of 2 scenarios (shard 1/2)"),
+              std::string::npos)
+        << out.str();
+    // Shard 1 owns only the second expansion point.
+    EXPECT_EQ(out.str().find("k=16"), std::string::npos);
+    EXPECT_NE(out.str().find("k=32"), std::string::npos);
+}
+
+TEST(RunScenario, ShardedSingleScenarioMayOwnNothing)
+{
+    // One job over two shards: the floor split [total*i/n,
+    // total*(i+1)/n) hands the job to shard 1, so shard 0 owns the
+    // empty slice and must succeed with an empty sweep report (the
+    // shard contract), not crash on the missing single-run result.
+    auto parsed = cli::parseArgs({"--workload", "gemm", "--m", "16",
+                                  "--k", "16", "--n", "16", "--shard",
+                                  "0/2"});
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    std::ostringstream out, err;
+    EXPECT_EQ(cli::runScenario(parsed.options, out, err), 0)
+        << err.str();
+    EXPECT_NE(out.str().find("0 of 1 scenario (shard 0/2)"),
+              std::string::npos)
+        << out.str();
 }
 
 TEST(RunScenario, DegenerateSingleRunKeepsClassicReport)
