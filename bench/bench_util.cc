@@ -131,12 +131,23 @@ benchUsageText()
            "               shard CSVs concatenate in shard order to"
            " the\n"
            "               full CSV (only shard 0 writes the header)\n"
+           "  --cache-dir D  content-addressed result cache: grid"
+           " points\n"
+           "               already in D render without re-simulating"
+           " (a\n"
+           "               warm rerun executes 0 jobs, byte-identical"
+           " CSVs);\n"
+           "               safe to share across --jobs/--shard runs\n"
+           "  --cache M    off | read | write | readwrite | refresh\n"
+           "               (default readwrite; refresh re-runs and\n"
+           "               overwrites existing entries)\n"
            "  --help       show this text and exit\n";
 }
 
 std::string
 parseBenchArgs(const std::vector<std::string> &args, BenchOptions &out)
 {
+    bool cache_mode_set = false;
     for (std::size_t i = 0; i < args.size(); ++i) {
         std::string key = args[i];
         std::string value;
@@ -152,7 +163,8 @@ parseBenchArgs(const std::vector<std::string> &args, BenchOptions &out)
             out.showHelp = true;
             continue;
         }
-        if (key != "--jobs" && key != "--shard")
+        if (key != "--jobs" && key != "--shard" &&
+            key != "--cache-dir" && key != "--cache")
             return "unknown option '" + key + "' (see --help)";
         if (!have_value) {
             if (i + 1 >= args.size())
@@ -174,12 +186,23 @@ parseBenchArgs(const std::vector<std::string> &args, BenchOptions &out)
                 return "option '--jobs' expects an integer in"
                        " [1, 256], got '" + value + "'";
             out.jobs = v;
+        } else if (key == "--cache-dir") {
+            if (value.empty())
+                return "option '--cache-dir' expects a path";
+            out.cacheDir = value;
+        } else if (key == "--cache") {
+            std::string err = cache::parseMode(value, out.cacheMode);
+            if (!err.empty())
+                return err;
+            cache_mode_set = true;
         } else {
             std::string err = runner::parseShard(value, out.shard);
             if (!err.empty())
                 return "option '--shard': " + err;
         }
     }
+    if (cache_mode_set && out.cacheDir.empty())
+        return "option '--cache' requires --cache-dir";
     return {};
 }
 

@@ -2,9 +2,13 @@
 
 #include <exception>
 #include <iostream>
+#include <optional>
 #include <thread>
 
 #include "bench_util.hh"
+#include "cache/key.hh"
+#include "cache/payload.hh"
+#include "cache/store.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "runner/pool.hh"
@@ -165,15 +169,45 @@ FigureBench::run(const BenchOptions &opt, std::ostream &out,
         workers = static_cast<int>(
             std::max(1u, std::thread::hardware_concurrency()));
 
-    std::vector<FigureRows> results;
+    std::optional<cache::ResultStore> store;
+    if (!opt.cacheDir.empty() &&
+        opt.cacheMode != cache::Mode::Off) {
+        store.emplace(opt.cacheDir, opt.cacheMode);
+        if (std::string serr = store->prepare(); !serr.empty()) {
+            err << name_ << ": " << serr << "\n";
+            return 1;
+        }
+    }
+
+    // Execution goes through the payload codec on hit *and* miss, so
+    // a warm rerun renders exactly the bytes the cold run rendered.
+    std::vector<std::string> payloads;
     try {
-        results = runner::ScenarioPool(workers).map<FigureRows>(
-            jobs.size(), [&](std::size_t i) {
-                return tables_[jobs[i].table].emit(jobs[i].point);
-            });
+        payloads = runner::ScenarioPool(workers).mapCached(
+            jobs.size(),
+            [&](std::size_t i) {
+                return cache::figureKey(name_,
+                                        tables_[jobs[i].table].title,
+                                        jobs[i].point.label);
+            },
+            [&](std::size_t i) {
+                return cache::encodeRows(
+                    tables_[jobs[i].table].emit(jobs[i].point));
+            },
+            store ? &*store : nullptr);
     } catch (const std::exception &e) {
         err << name_ << ": " << e.what() << "\n";
         return 1;
+    }
+
+    std::vector<FigureRows> results(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (!cache::decodeRows(payloads[i], results[i])) {
+            err << name_ << ": corrupt cache entry for '"
+                << jobs[i].point.label << "' in " << opt.cacheDir
+                << " (rerun with --cache refresh)\n";
+            return 1;
+        }
     }
 
     // Render in declaration order; the job list is grouped by table
@@ -199,6 +233,8 @@ FigureBench::run(const BenchOptions &opt, std::ostream &out,
         if (!spec.note.empty())
             out << "\n" << spec.note << "\n";
     }
+    if (store)
+        out << name_ << ": " << store->statsLine() << "\n";
     return 0;
 }
 

@@ -10,7 +10,7 @@
  * binary's tables; its job list is the concatenation of every table's
  * expanded grid, which gives all 13 binaries the same CLI for free:
  *
- *   bench_figNN [--jobs N] [--shard I/N]
+ *   bench_figNN [--jobs N] [--shard I/N] [--cache-dir D [--cache M]]
  *
  * Determinism contract (the same one canonsim's sweep mode obeys):
  *  - Grid expansion order is fixed: axes vary like nested loops in
@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/mode.hh"
 #include "runner/shard.hh"
 
 namespace canon
@@ -126,6 +127,16 @@ struct BenchOptions
 {
     int jobs = 0; //!< worker threads; 0 = the binary's default
     runner::Shard shard;
+
+    /**
+     * Content-addressed result cache (--cache-dir / --cache): grid
+     * points already in the cache render without executing their
+     * emit function, so a warm rerun regenerates byte-identical CSVs
+     * with zero simulation jobs. Empty disables caching.
+     */
+    std::string cacheDir;
+    cache::Mode cacheMode = cache::Mode::ReadWrite;
+
     bool showHelp = false;
 };
 

@@ -1,0 +1,125 @@
+#include "cache/store.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+
+namespace canon
+{
+namespace cache
+{
+
+namespace
+{
+
+/** Store-format magic; bump on layout changes (not semantics). */
+constexpr const char *kMagicLine = "canon-cache 1\n";
+
+/** Unique-enough temp suffix for same-directory atomic publishes. */
+std::string
+tempSuffix()
+{
+    static std::atomic<std::uint64_t> seq{0};
+    std::random_device rd;
+    std::ostringstream oss;
+    oss << "." << std::hex << rd() << "-"
+        << seq.fetch_add(1, std::memory_order_relaxed) << ".tmp";
+    return oss.str();
+}
+
+} // namespace
+
+std::string
+ResultStore::prepare() const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec)
+        return "cannot create cache directory '" + dir_ +
+               "': " + ec.message();
+    return {};
+}
+
+std::string
+ResultStore::entryPath(const ScenarioKey &key) const
+{
+    return (std::filesystem::path(dir_) / key.fileName()).string();
+}
+
+std::optional<std::string>
+ResultStore::lookup(const ScenarioKey &key) const
+{
+    if (!readsEnabled())
+        return std::nullopt;
+    std::ifstream f(entryPath(key), std::ios::binary);
+    if (!f)
+        return std::nullopt;
+    std::string text((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+
+    // Magic line, then the full canonical key: a digest collision or
+    // a stale/torn entry fails verification and reads as a miss.
+    if (text.rfind(kMagicLine, 0) != 0)
+        return std::nullopt;
+    const std::size_t key_start = std::char_traits<char>::length(
+        kMagicLine);
+    const std::size_t key_end = text.find('\n', key_start);
+    if (key_end == std::string::npos ||
+        text.compare(key_start, key_end - key_start, key.canonical) !=
+            0)
+        return std::nullopt;
+
+    return text.substr(key_end + 1);
+}
+
+bool
+ResultStore::store(const ScenarioKey &key,
+                   const std::string &payload) const
+{
+    if (!writesEnabled())
+        return true;
+    const std::string final_path = entryPath(key);
+    if (!overwrites()) {
+        std::error_code ec;
+        if (std::filesystem::exists(final_path, ec))
+            return true; // same key, same bytes: nothing to refresh
+    }
+
+    const std::string tmp_path = final_path + tempSuffix();
+    {
+        std::ofstream f(tmp_path, std::ios::binary);
+        if (!f)
+            return false;
+        f << kMagicLine << key.canonical << '\n' << payload;
+        f.flush();
+        if (!f.good()) {
+            std::error_code ec;
+            std::filesystem::remove(tmp_path, ec);
+            return false;
+        }
+    }
+
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, final_path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp_path, ec);
+        return false;
+    }
+    stores_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+std::string
+ResultStore::statsLine() const
+{
+    const CacheStats s = stats();
+    return "cache: " + std::to_string(s.hits) + " hits, " +
+           std::to_string(s.misses) + " misses, " +
+           std::to_string(s.stores) +
+           " stored; simulation jobs executed: " +
+           std::to_string(s.misses);
+}
+
+} // namespace cache
+} // namespace canon

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * On-disk content-addressed result store.
+ *
+ * Layout: one file per ScenarioKey under the cache directory, named
+ * by the key's digest. Each entry is
+ *
+ *     canon-cache 1\n          (store-format magic + version)
+ *     <canonical key text>\n   (verified on every read)
+ *     <payload bytes>          (opaque to the store)
+ *
+ * Concurrency contract: the store is safe for any number of
+ * concurrent readers and writers across threads *and* processes --
+ * parallel --jobs workers and separate --shard invocations may share
+ * one directory. Writes go to a uniquely named temp file in the same
+ * directory and are published with an atomic rename, so a reader
+ * observes either no entry or a complete one, never a torn file;
+ * concurrent writers of the same key race benignly (last rename
+ * wins, and every writer writes the same bytes for the same key).
+ * Reads verify the magic line and the full canonical key text, so a
+ * digest collision, a stale-format entry, or external corruption
+ * degrades to a miss, never to a wrong result.
+ *
+ * Statistics: hits (jobs satisfied from the store), misses (jobs
+ * actually executed), stores (entries written) are tracked with
+ * atomic counters so pool workers can update them concurrently.
+ */
+
+#ifndef CANON_CACHE_STORE_HH
+#define CANON_CACHE_STORE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cache/key.hh"
+#include "cache/mode.hh"
+
+namespace canon
+{
+namespace cache
+{
+
+/** Snapshot of a store's counters. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;   //!< jobs satisfied from the store
+    std::uint64_t misses = 0; //!< jobs executed (lookup failed or off)
+    std::uint64_t stores = 0; //!< entries written
+};
+
+class ResultStore
+{
+  public:
+    ResultStore(std::string dir, Mode mode)
+        : dir_(std::move(dir)), mode_(mode)
+    {
+    }
+
+    const std::string &dir() const { return dir_; }
+    Mode mode() const { return mode_; }
+
+    /**
+     * Create the cache directory (recursively) if needed. Returns an
+     * empty string on success, otherwise the error message. Call
+     * once before the first lookup/store.
+     */
+    std::string prepare() const;
+
+    /** True when this mode consults the store before running. */
+    bool readsEnabled() const
+    {
+        return mode_ == Mode::Read || mode_ == Mode::ReadWrite;
+    }
+
+    /** True when this mode writes computed results back. */
+    bool writesEnabled() const
+    {
+        return mode_ == Mode::Write || mode_ == Mode::ReadWrite ||
+               mode_ == Mode::Refresh;
+    }
+
+    /** True when an existing entry is rewritten (Refresh). */
+    bool overwrites() const { return mode_ == Mode::Refresh; }
+
+    /**
+     * Fetch the payload stored under @p key. Returns nullopt when
+     * reads are disabled by the mode, the entry is absent, carries a
+     * different canonical key, or predates the store format. Never
+     * touches the counters: the caller records the hit only once the
+     * payload proves usable (recordHit), so a fetched-but-
+     * undecodable entry counts as exactly one miss, not as both.
+     */
+    std::optional<std::string> lookup(const ScenarioKey &key) const;
+
+    /** Count one job satisfied from the store. */
+    void recordHit() const
+    {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /**
+     * Publish @p payload under @p key via temp-file + atomic rename;
+     * a no-op when writes are disabled by the mode. Without
+     * overwrites(), an existing entry is left untouched (the bytes
+     * for a given key are the same no matter who computes them).
+     * Returns false only on I/O failure. A write counts one store.
+     */
+    bool store(const ScenarioKey &key, const std::string &payload) const;
+
+    /** Count one executed job (call before computing a miss). */
+    void recordMiss() const
+    {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    CacheStats stats() const
+    {
+        CacheStats s;
+        s.hits = hits_.load(std::memory_order_relaxed);
+        s.misses = misses_.load(std::memory_order_relaxed);
+        s.stores = stores_.load(std::memory_order_relaxed);
+        return s;
+    }
+
+    /**
+     * The one-line report every cached run prints; "simulation jobs
+     * executed" repeats the miss count, which is what warm-cache CI
+     * gates assert on.
+     */
+    std::string statsLine() const;
+
+  private:
+    std::string entryPath(const ScenarioKey &key) const;
+
+    std::string dir_;
+    Mode mode_;
+    mutable std::atomic<std::uint64_t> hits_{0};
+    mutable std::atomic<std::uint64_t> misses_{0};
+    mutable std::atomic<std::uint64_t> stores_{0};
+};
+
+} // namespace cache
+} // namespace canon
+
+#endif // CANON_CACHE_STORE_HH

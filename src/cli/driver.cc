@@ -1,7 +1,10 @@
 #include "cli/driver.hh"
 
+#include <algorithm>
+#include <optional>
 #include <ostream>
 
+#include "cache/store.hh"
 #include "common/table.hh"
 #include "runner/aggregate.hh"
 #include "runner/pool.hh"
@@ -97,7 +100,8 @@ namespace
 /** Render the classic single-scenario report (the no-axis sweep). */
 int
 renderSingle(const Options &opt, const runner::ScenarioResult &result,
-             std::ostream &out, std::ostream &err)
+             const cache::ResultStore *store, std::ostream &out,
+             std::ostream &err)
 {
     out << opt.fabricConfig().describe() << "\n\n";
 
@@ -112,6 +116,8 @@ renderSingle(const Options &opt, const runner::ScenarioResult &result,
 
     Table table = buildStatsTable(opt, result.cases);
     table.print(out);
+    if (store)
+        out << "\n" << store->statsLine() << "\n";
     if (!opt.csvPath.empty()) {
         if (!table.writeCsv(opt.csvPath)) {
             err << "canonsim: cannot write CSV to " << opt.csvPath
@@ -127,7 +133,8 @@ renderSingle(const Options &opt, const runner::ScenarioResult &result,
 int
 renderSweep(const Options &opt, std::size_t total,
             std::vector<runner::ScenarioResult> results,
-            std::ostream &out, std::ostream &err)
+            const cache::ResultStore *store, std::ostream &out,
+            std::ostream &err)
 {
     const std::size_t count = results.size();
     runner::SweepResult sweep(std::move(results));
@@ -147,6 +154,8 @@ renderSweep(const Options &opt, std::size_t total,
 
     Table table = sweep.table();
     table.print(out);
+    if (store)
+        out << "\n" << store->statsLine() << "\n";
 
     for (const auto &r : sweep.scenarios())
         if (!r.error.empty())
@@ -180,30 +189,55 @@ runScenario(const Options &opt, std::ostream &out, std::ostream &err)
         return 2;
     }
 
-    // Model runs ignore the shape options, so sweeping a shape axis
-    // while every scenario runs a model would silently produce N
-    // identical rows. Shape axes are only meaningful when some
-    // scenario is a shape scenario: either no model is in play, or
-    // the 'model' axis itself includes 'none'.
-    const bool has_shape_points = spec.hasAxis("model")
-                                      ? spec.axisHasValue("model",
-                                                          "none")
-                                      : opt.model.empty();
-    if (!has_shape_points) {
-        for (const char *shape :
-             {"workload", "m", "k", "n", "window", "nm"}) {
-            if (spec.hasAxis(shape)) {
-                err << "canonsim: sweep axis '" << shape
-                    << "' has no effect when every scenario runs a"
-                       " model (include 'none' in the model axis to"
-                       " mix model and shape scenarios)\n\n"
-                    << usageText();
-                return 2;
-            }
+    std::vector<runner::SweepJob> jobs = spec.expand(opt);
+
+    // Per-workload relevance guard (generalizes the old model-pins-
+    // the-shape special case): an axis no expanded scenario consumes
+    // would only repeat identical rows, so it is a usage error. The
+    // canonical cases: any shape axis when every scenario runs a
+    // model, --sweep sparsity with gemm/spmm-nm, --sweep window
+    // without sddmm-window, --sweep n with only sddmm-window.
+    for (const auto &[axis_key, axis_values] : opt.sweepAxes) {
+        (void)axis_values;
+        const bool consumed = std::any_of(
+            jobs.begin(), jobs.end(),
+            [&key = axis_key](const runner::SweepJob &job) {
+                return optionRelevant(job.options, key);
+            });
+        if (!consumed) {
+            err << "canonsim: sweep axis '" << axis_key
+                << "' has no effect: every scenario in this sweep"
+                   " ignores it (see the per-workload option table in"
+                   " --list; include 'none' in a model axis to mix"
+                   " model and shape scenarios)\n\n"
+                << usageText();
+            return 2;
         }
     }
 
-    std::vector<runner::SweepJob> jobs = spec.expand(opt);
+    // Single runs warn -- once per offending flag, on stderr, without
+    // failing -- when an explicitly set option is ignored by the
+    // selected workload or model (`--nm` with spmm, `--window` with
+    // gemm, `--sparsity` with a window-attention model, ...).
+    if (opt.sweepAxes.empty()) {
+        std::vector<std::string> warned;
+        for (const auto &key : opt.explicitKeys) {
+            if (optionRelevant(opt, key) ||
+                std::find(warned.begin(), warned.end(), key) !=
+                    warned.end())
+                continue;
+            warned.push_back(key);
+            err << "canonsim: warning: option '--" << key
+                << "' is ignored by "
+                << (opt.model.empty()
+                        ? "workload '" +
+                              std::string(workloadName(opt.workload)) +
+                              "'"
+                        : "model '" + opt.model + "'")
+                << "\n";
+        }
+    }
+
     const std::size_t total = jobs.size();
     if (!opt.shard.whole()) {
         const auto [first, last] = runner::shardRange(opt.shard, total);
@@ -212,16 +246,29 @@ runScenario(const Options &opt, std::ostream &out, std::ostream &err)
             jobs.begin() + static_cast<std::ptrdiff_t>(last));
     }
 
+    std::optional<cache::ResultStore> store;
+    if (!opt.cacheDir.empty() &&
+        opt.cacheMode != cache::Mode::Off) {
+        store.emplace(opt.cacheDir, opt.cacheMode);
+        if (std::string serr = store->prepare(); !serr.empty()) {
+            err << "canonsim: " << serr << "\n";
+            return 1;
+        }
+    }
+
     runner::ScenarioPool pool(opt.jobs);
-    std::vector<runner::ScenarioResult> results =
-        pool.run(jobs, [](const Options &o) { return runCases(o); });
+    std::vector<runner::ScenarioResult> results = pool.run(
+        jobs, [](const Options &o) { return runCases(o); },
+        store ? &*store : nullptr);
 
     // A sharded run always uses the sweep report, even for a single
     // scenario: its slice may be empty and its CSV must obey the
     // shard concatenation contract.
     if (opt.sweepAxes.empty() && opt.shard.whole())
-        return renderSingle(opt, results.front(), out, err);
-    return renderSweep(opt, total, std::move(results), out, err);
+        return renderSingle(opt, results.front(),
+                            store ? &*store : nullptr, out, err);
+    return renderSweep(opt, total, std::move(results),
+                       store ? &*store : nullptr, out, err);
 }
 
 } // namespace cli

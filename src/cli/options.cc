@@ -1,6 +1,8 @@
 #include "cli/options.hh"
 
+#include <algorithm>
 #include <charconv>
+#include <iomanip>
 #include <limits>
 #include <sstream>
 
@@ -58,6 +60,27 @@ parseDouble(const std::string &s, double &out)
     std::istringstream iss(s);
     iss >> out;
     return iss && iss.eof();
+}
+
+/**
+ * Shortest decimal text that round-trips to exactly @p v, so "0.5",
+ * ".50", and "0.50" all canonicalize to "0.5" while distinct doubles
+ * stay distinct (17 significant digits always round-trip).
+ */
+std::string
+canonicalDouble(double v)
+{
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::ostringstream oss;
+        oss << std::setprecision(prec) << v;
+        double back = 0.0;
+        std::istringstream iss(oss.str());
+        if ((iss >> back) && back == v)
+            return oss.str();
+    }
+    std::ostringstream oss;
+    oss << std::setprecision(17) << v;
+    return oss.str();
 }
 
 } // namespace
@@ -218,6 +241,105 @@ workloadName(Workload w)
     return "?";
 }
 
+const std::vector<std::string> &
+fabricOptionKeys()
+{
+    static const std::vector<std::string> keys = {
+        "rows", "cols", "spad", "dmem", "clock-ghz"};
+    return keys;
+}
+
+std::vector<std::string>
+relevantScenarioKeys(const Options &opt)
+{
+    if (!opt.model.empty()) {
+        // A model run pins its own layer shapes; only the model
+        // selector, its sparsity knob (when it has one), and the RNG
+        // seed shape the result.
+        std::vector<std::string> keys = {"model"};
+        if (modelUsesSparsity(opt.model))
+            keys.push_back("sparsity");
+        keys.push_back("seed");
+        return keys;
+    }
+
+    std::vector<std::string> keys = {"workload", "m", "k"};
+    switch (opt.workload) {
+      case Workload::Gemm:
+        keys.push_back("n");
+        break;
+      case Workload::Spmm:
+      case Workload::Sddmm:
+        keys.push_back("n");
+        keys.push_back("sparsity");
+        break;
+      case Workload::SpmmNm:
+        keys.push_back("n");
+        keys.push_back("nm");
+        break;
+      case Workload::SddmmWindow:
+        // --m is the sequence length; --n is ignored entirely.
+        keys.push_back("window");
+        break;
+    }
+    keys.push_back("seed");
+    return keys;
+}
+
+bool
+optionRelevant(const Options &opt, const std::string &key)
+{
+    const auto &fabric = fabricOptionKeys();
+    if (std::find(fabric.begin(), fabric.end(), key) != fabric.end())
+        return true;
+    // "model" always selects (model=none switches back to shape
+    // mode), so it is never an ignored option.
+    if (key == "model")
+        return true;
+    const auto keys = relevantScenarioKeys(opt);
+    return std::find(keys.begin(), keys.end(), key) != keys.end();
+}
+
+std::string
+optionValueText(const Options &opt, const std::string &key)
+{
+    if (key == "workload")
+        return workloadName(opt.workload);
+    if (key == "model")
+        return opt.model.empty() ? "none" : opt.model;
+    if (key == "m")
+        return std::to_string(opt.m);
+    if (key == "k")
+        return std::to_string(opt.k);
+    if (key == "n")
+        return std::to_string(opt.n);
+    if (key == "window")
+        return std::to_string(opt.window);
+    if (key == "seed")
+        return std::to_string(opt.seed);
+    if (key == "sparsity") {
+        // Models fall back to their canonical per-model sparsity when
+        // --sparsity was not given; that choice, not the dormant
+        // opt.sparsity value, is what identifies the scenario.
+        if (!opt.model.empty() && !opt.sparsitySet)
+            return "canonical";
+        return canonicalDouble(opt.sparsity);
+    }
+    if (key == "nm")
+        return std::to_string(opt.nmN) + ":" + std::to_string(opt.nmM);
+    if (key == "rows")
+        return std::to_string(opt.rows);
+    if (key == "cols")
+        return std::to_string(opt.cols);
+    if (key == "spad")
+        return std::to_string(opt.spadEntries);
+    if (key == "dmem")
+        return std::to_string(opt.dmemSlots);
+    if (key == "clock-ghz")
+        return canonicalDouble(opt.clockGhz);
+    return "?";
+}
+
 const char *
 usageText()
 {
@@ -284,6 +406,17 @@ usageText()
         "                    CSVs concatenate in order to the full\n"
         "                    CSV (only shard 0 writes the header)\n"
         "\n"
+        "Result cache:\n"
+        "  --cache-dir PATH  content-addressed result cache; repeated\n"
+        "                    scenarios become lookups, an interrupted\n"
+        "                    sweep resumes from what is already there,\n"
+        "                    and concurrent --jobs/--shard runs share\n"
+        "                    one directory safely\n"
+        "  --cache MODE      off | read | write | readwrite |"
+        " refresh\n"
+        "                    (default readwrite; refresh re-runs and\n"
+        "                    overwrites existing entries)\n"
+        "\n"
         "Output:\n"
         "  --csv PATH        also write the stats table as CSV\n"
         "  --list            list workloads and exit\n"
@@ -316,6 +449,7 @@ parseArgs(const std::vector<std::string> &args)
 {
     ParseResult res;
     Options &opt = res.options;
+    bool cache_mode_set = false;
 
     auto fail = [&res](const std::string &msg) {
         res.ok = false;
@@ -400,15 +534,28 @@ parseArgs(const std::vector<std::string> &args)
             std::string err = runner::parseShard(value, opt.shard);
             if (!err.empty())
                 return fail("option '--shard': " + err);
+        } else if (key == "--cache-dir") {
+            if (value.empty())
+                return fail("option '--cache-dir' expects a path");
+            opt.cacheDir = value;
+        } else if (key == "--cache") {
+            std::string err = cache::parseMode(value, opt.cacheMode);
+            if (!err.empty())
+                return fail(err);
+            cache_mode_set = true;
         } else if (key.rfind("--", 0) == 0) {
             std::string err =
                 applyScenarioOption(opt, key.substr(2), value);
             if (!err.empty())
                 return fail(err);
+            opt.explicitKeys.push_back(key.substr(2));
         } else {
             return fail("unknown option '" + key + "' (see --help)");
         }
     }
+
+    if (cache_mode_set && opt.cacheDir.empty())
+        return fail("option '--cache' requires --cache-dir");
 
     if (opt.archs.empty())
         opt.archs.push_back("canon");

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/mode.hh"
 #include "core/config.hh"
 #include "runner/shard.hh"
 
@@ -85,6 +86,21 @@ struct Options
      */
     runner::Shard shard;
 
+    /**
+     * Content-addressed result cache directory (src/cache). Empty
+     * disables caching; a non-empty directory is shared safely by
+     * concurrent --jobs workers and separate --shard processes.
+     */
+    std::string cacheDir;
+    cache::Mode cacheMode = cache::Mode::ReadWrite;
+
+    /**
+     * Scenario option keys set explicitly on the command line, in
+     * appearance order (duplicates kept). The driver warns when a
+     * single run sets an option its workload ignores.
+     */
+    std::vector<std::string> explicitKeys;
+
     std::string csvPath; //!< also dump the stats table as CSV
     bool showHelp = false;
     bool listWorkloads = false;
@@ -128,6 +144,48 @@ const char *workloadName(Workload w);
 
 /** Every runnable architecture, in the paper's display order. */
 const std::vector<std::string> &knownArchs();
+
+// ---- workload/option relevance matrix ---------------------------------
+//
+// The single source of truth for which option keys a scenario
+// actually consumes. It drives three behaviors: single runs warn on
+// explicitly set but ignored options, sweeps reject an axis that no
+// selected scenario consumes (instead of silently emitting identical
+// rows), and the result cache's ScenarioKey folds in only the
+// relevant options so e.g. an spmm result is reusable no matter what
+// --nm was set to.
+
+/**
+ * Fabric keys relevant to every scenario (rows, cols, spad, dmem,
+ * clock-ghz).
+ */
+const std::vector<std::string> &fabricOptionKeys();
+
+/**
+ * The scenario option keys @p opt's selected workload -- or model --
+ * actually consumes, in canonical order. A model run returns
+ * {"model", ["sparsity",] "seed"} (sparsity only for models with a
+ * sparsity knob); a shape run returns "workload" plus its shape and
+ * workload-specific keys (e.g. spmm-nm consumes nm but not sparsity,
+ * sddmm-window consumes window but not n).
+ */
+std::vector<std::string> relevantScenarioKeys(const Options &opt);
+
+/**
+ * True when setting option @p key can change what @p opt computes or
+ * reports: fabric keys always, the "model" selector always (it
+ * switches between model and shape mode), scenario keys per
+ * relevantScenarioKeys.
+ */
+bool optionRelevant(const Options &opt, const std::string &key);
+
+/**
+ * Canonical text of scenario/fabric option @p key's value in @p opt
+ * (doubles in shortest round-trip form, nm as "N:M", the model's
+ * sparsity as "canonical" when --sparsity was not given). Used to
+ * build stable cache keys.
+ */
+std::string optionValueText(const Options &opt, const std::string &key);
 
 } // namespace cli
 } // namespace canon

@@ -4,6 +4,9 @@
 #include <atomic>
 #include <thread>
 
+#include "cache/key.hh"
+#include "cache/payload.hh"
+
 namespace canon
 {
 namespace runner
@@ -48,7 +51,8 @@ ScenarioPool::forEach(
 std::vector<ScenarioResult>
 ScenarioPool::run(
     const std::vector<SweepJob> &jobs,
-    const std::function<CaseResult(const cli::Options &)> &fn) const
+    const std::function<CaseResult(const cli::Options &)> &fn,
+    const cache::ResultStore *store) const
 {
     std::vector<ScenarioResult> results(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i)
@@ -56,6 +60,26 @@ ScenarioPool::run(
 
     forEach(jobs.size(), [&](std::size_t i) {
         ScenarioResult &r = results[i];
+
+        cache::ScenarioKey key;
+        if (store)
+            key = cache::scenarioKey(jobs[i].options);
+        if (store && store->readsEnabled()) {
+            if (auto payload = store->lookup(key)) {
+                // An undecodable or empty entry (external corruption;
+                // torn files cannot happen) falls through to a
+                // recompute instead of failing the scenario.
+                if (cache::decodeCaseResult(*payload, r.cases) &&
+                    !r.cases.empty()) {
+                    store->recordHit();
+                    return;
+                }
+                r.cases.clear();
+            }
+        }
+
+        if (store)
+            store->recordMiss();
         try {
             r.cases = fn(jobs[i].options);
             if (r.cases.empty())
@@ -65,8 +89,38 @@ ScenarioPool::run(
         } catch (...) {
             r.error = "unknown exception";
         }
+
+        // Only successful scenarios are worth remembering; a failure
+        // should re-run (and re-report) next time.
+        if (store && store->writesEnabled() && r.error.empty())
+            store->store(key, cache::encodeCaseResult(r.cases));
     });
     return results;
+}
+
+std::vector<std::string>
+ScenarioPool::mapCached(
+    std::size_t count,
+    const std::function<cache::ScenarioKey(std::size_t)> &keyOf,
+    const std::function<std::string(std::size_t)> &compute,
+    const cache::ResultStore *store) const
+{
+    if (!store)
+        return map<std::string>(count, compute);
+    return map<std::string>(count, [&](std::size_t i) {
+        const cache::ScenarioKey key = keyOf(i);
+        if (store->readsEnabled()) {
+            if (auto payload = store->lookup(key)) {
+                store->recordHit();
+                return *payload;
+            }
+        }
+        store->recordMiss();
+        std::string payload = compute(i);
+        if (store->writesEnabled())
+            store->store(key, payload);
+        return payload;
+    });
 }
 
 } // namespace runner

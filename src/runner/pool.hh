@@ -16,6 +16,15 @@
  *    throws (or yields nothing) is captured as a failed
  *    ScenarioResult; the remaining scenarios still run.
  *
+ * Cached execution: run() and mapCached() accept an optional
+ * cache::ResultStore. When present, each job's ScenarioKey is looked
+ * up before simulating -- a hit skips the job entirely (this is what
+ * makes a warm-cache rerun execute zero simulation jobs and an
+ * interrupted sweep resume from its cache directory), a miss runs
+ * the job and stores the result per the store's mode. Hit/miss/store
+ * counts accumulate in the store's atomic counters. Failed scenarios
+ * are never stored.
+ *
  * Thread-safety and ordering contract (all entry points):
  *  - @p fn / @p task is called concurrently from up to workers()
  *    threads, each call with a distinct job index; it must not touch
@@ -37,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/store.hh"
 #include "runner/sweep.hh"
 #include "workloads/suite.hh"
 
@@ -116,11 +126,33 @@ class ScenarioPool
      * A job that throws FatalError/PanicError (or any std::exception)
      * is captured as a failed ScenarioResult; the remaining jobs
      * still run.
+     *
+     * With a non-null @p store, each job's cache::scenarioKey is
+     * consulted first (per the store's mode): a decodable hit
+     * becomes the result without simulating, anything else runs and
+     * -- when writes are enabled and the scenario succeeded -- is
+     * stored.
      */
     std::vector<ScenarioResult>
     run(const std::vector<SweepJob> &jobs,
-        const std::function<CaseResult(const cli::Options &)> &fn)
-        const;
+        const std::function<CaseResult(const cli::Options &)> &fn,
+        const cache::ResultStore *store = nullptr) const;
+
+    /**
+     * Cache-aware map over opaque payload strings: for every index,
+     * return the stored payload under keyOf(i) when the store has
+     * one, otherwise compute(i) (storing the result per the store's
+     * mode). With a null @p store this is map<std::string> over
+     * @p compute. Exceptions follow the map() contract: every other
+     * index still runs, then the lowest-indexed error is rethrown.
+     * The payload round-trips bit-exactly, so a caller that renders
+     * from the returned payloads is byte-identical warm or cold.
+     */
+    std::vector<std::string> mapCached(
+        std::size_t count,
+        const std::function<cache::ScenarioKey(std::size_t)> &keyOf,
+        const std::function<std::string(std::size_t)> &compute,
+        const cache::ResultStore *store) const;
 
   private:
     int workers_;

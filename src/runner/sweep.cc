@@ -44,7 +44,7 @@ SweepSpec::addAxis(const std::string &key, const std::string &values)
     // Real CLI flags that are nevertheless outside the scenario
     // grammar get a targeted message, not "unknown option".
     for (const char *fixed : {"arch", "csv", "sweep", "jobs", "shard",
-                              "help", "list"})
+                              "cache", "cache-dir", "help", "list"})
         if (key == fixed)
             return "sweep axis '" + key + "' is not sweepable (only"
                    " workload, model, shape, and fabric options are)";

@@ -68,6 +68,17 @@ spmmOffchipBytes(std::uint64_t nnz, std::int64_t m, std::int64_t k,
 
 } // namespace
 
+int
+CanonRunOptions::effectiveProxyRows(const CanonConfig &cfg) const
+{
+    if (maxProxyRows > 0)
+        return maxProxyRows;
+    const std::int64_t floor = std::max<std::int64_t>(
+        kMinProxyRows,
+        static_cast<std::int64_t>(kMinProxySlicesPerRow) * cfg.rows);
+    return static_cast<int>(roundUp(floor, cfg.rows));
+}
+
 ExecutionProfile
 CanonRunner::spmmExact(const CsrMatrix &a, const DenseMatrix &b,
                        WordMatrix *result_out) const
@@ -122,8 +133,8 @@ CanonRunner::spmmShape(std::int64_t m, std::int64_t k, std::int64_t n,
     const std::int64_t k_cap =
         static_cast<std::int64_t>(cfg_.rows) * cfg_.dmemSlots;
 
-    const auto mp =
-        static_cast<int>(std::min<std::int64_t>(m, opt.maxProxyRows));
+    const auto mp = static_cast<int>(
+        std::min<std::int64_t>(m, opt.effectiveProxyRows(cfg_)));
     const auto kp = static_cast<int>(
         roundUp(std::min(k, k_cap), cfg_.rows));
     const auto passes_total = divCeil(static_cast<std::uint64_t>(n),
@@ -154,8 +165,8 @@ CanonRunner::gemmShape(std::int64_t m, std::int64_t k, std::int64_t n,
     const int tile_n = cfg_.cols * kSimdWidth;
     const std::int64_t k_cap =
         static_cast<std::int64_t>(cfg_.rows) * cfg_.dmemSlots;
-    const auto mp =
-        static_cast<int>(std::min<std::int64_t>(m, opt.maxProxyRows));
+    const auto mp = static_cast<int>(
+        std::min<std::int64_t>(m, opt.effectiveProxyRows(cfg_)));
     const auto kp =
         static_cast<int>(roundUp(std::min(k, k_cap), cfg_.rows));
     const auto passes_total = divCeil(static_cast<std::uint64_t>(n),
@@ -199,8 +210,8 @@ CanonRunner::nmShape(std::int64_t m, std::int64_t k, std::int64_t n,
     // The K tile must divide by rows and each slice by the pattern M.
     const std::int64_t k_quantum =
         static_cast<std::int64_t>(cfg_.rows) * nm_m;
-    const auto mp =
-        static_cast<int>(std::min<std::int64_t>(m, opt.maxProxyRows));
+    const auto mp = static_cast<int>(
+        std::min<std::int64_t>(m, opt.effectiveProxyRows(cfg_)));
     std::int64_t kp64 = roundUp(std::min(k, k_cap), k_quantum);
     if (kp64 > k_cap)
         kp64 -= k_quantum;
@@ -245,8 +256,8 @@ CanonRunner::sddmmShape(std::int64_t m, std::int64_t k, std::int64_t n,
     const int kp = cfg_.cols * kSimdWidth; // native K tile
     const std::int64_t n_cap =
         static_cast<std::int64_t>(cfg_.rows) * cfg_.dmemSlots;
-    const auto mp =
-        static_cast<int>(std::min<std::int64_t>(m, opt.maxProxyRows));
+    const auto mp = static_cast<int>(
+        std::min<std::int64_t>(m, opt.effectiveProxyRows(cfg_)));
     const auto np = static_cast<int>(
         roundUp(std::min(n, n_cap), cfg_.rows));
 

@@ -33,11 +33,44 @@
 namespace canon
 {
 
+/**
+ * Floor of the derived proxy-row cap: enough i.i.d. row-slices for
+ * the scaled statistics to sit within a few percent of an exact run
+ * (cross-validated in workloads_test at 8x8 through 32x32), while
+ * staying inside the flat region of the per-row cycle cost -- beyond
+ * roughly 1k resident rows psum-tag pressure makes per-row cost
+ * superlinear, so simulating more rows would make the M-linear
+ * extrapolation *less* faithful, not more.
+ */
+inline constexpr int kMinProxyRows = 512;
+
+/**
+ * Minimum simulated row-slices per orchestrator row. The proxy's
+ * validity argument is that per-orchestrator work populations are
+ * sampled representatively; on tall fabrics the 512-row floor alone
+ * would thin each orchestrator's sample (512 rows over 64
+ * orchestrators is 8 slices each), so the cap scales with height.
+ */
+inline constexpr int kMinProxySlicesPerRow = 16;
+
 struct CanonRunOptions
 {
-    int maxProxyRows = 512;  //!< cap on simulated output rows
+    /**
+     * Cap on simulated output rows; 0 (the default) derives the cap
+     * from the fabric via effectiveProxyRows(): at least
+     * kMinProxyRows, at least kMinProxySlicesPerRow slices per
+     * orchestrator row, rounded up to a multiple of the fabric
+     * height so every orchestrator row simulates the same number of
+     * row-slices. For the 8x8..32x32 fabrics this derives the
+     * historical 512; taller fabrics get proportionally more rows
+     * instead of a silently thinning sample.
+     */
+    int maxProxyRows = 0;
     int maxProxyPasses = 1;  //!< column passes actually simulated
     bool collectResult = false; //!< keep the (unscaled) output matrix
+
+    /** The row cap in effect for @p cfg (explicit or derived). */
+    int effectiveProxyRows(const CanonConfig &cfg) const;
 };
 
 class CanonRunner

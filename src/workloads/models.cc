@@ -121,6 +121,26 @@ modelByName(const std::string &name, double sparsity)
     return {};
 }
 
+bool
+modelUsesSparsity(const std::string &name)
+{
+    // Derived from the registry rather than a parallel name list (a
+    // list would silently drift when a model is added): the model has
+    // a sparsity knob iff moving the knob changes its layer specs.
+    for (const auto &known : knownModelNames()) {
+        if (known != name)
+            continue;
+        const ModelSpec lo = modelByName(name, 0.25);
+        const ModelSpec hi = modelByName(name, 0.75);
+        for (std::size_t i = 0;
+             i < lo.layers.size() && i < hi.layers.size(); ++i)
+            if (lo.layers[i].sparsity != hi.layers[i].sparsity)
+                return true;
+        return false;
+    }
+    return false;
+}
+
 ModelSpec
 modelByName(const std::string &name)
 {

@@ -82,6 +82,15 @@ ModelSpec modelByName(const std::string &name, double sparsity);
  */
 ModelSpec modelByName(const std::string &name);
 
+/**
+ * True when model @p name has a sparsity knob (i.e. modelByName's
+ * sparsity argument feeds its layers). The purely window-structured
+ * attention models (mistral7b-attn, longformer) ignore it, which the
+ * CLI's relevance matrix and the result cache rely on. Unknown names
+ * report false.
+ */
+bool modelUsesSparsity(const std::string &name);
+
 } // namespace canon
 
 #endif // CANON_WORKLOADS_MODELS_HH

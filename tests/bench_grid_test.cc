@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -130,11 +131,13 @@ syntheticBench(const std::string &dir)
     return bench;
 }
 
-/** Per-test scratch dir: ctest -j runs tests concurrently. */
+/** Fresh per-test scratch dir: ctest -j runs tests concurrently,
+ *  and cache-backed tests must not inherit a previous run's store. */
 std::string
 scratchDir(const std::string &name)
 {
     const std::string dir = ::testing::TempDir() + name + "/";
+    std::filesystem::remove_all(dir);
     std::filesystem::create_directories(dir);
     return dir;
 }
@@ -194,6 +197,95 @@ TEST(FigureBench, ShardCsvsConcatenateToTheFullCsv)
     }
 }
 
+/** A tiny two-table bench whose emit calls are counted. */
+FigureBench
+countingBench(const std::string &dir, std::atomic<int> *emits)
+{
+    FigureBench bench("counting");
+    FigureTable t;
+    t.title = "counting grid";
+    t.header = {"Point", "Square"};
+    t.csvName = dir + "counting.csv";
+    t.grid.axis("v", {"2", "3", "4"});
+    t.emit = [emits](const FigurePoint &p) -> FigureRows {
+        emits->fetch_add(1);
+        const int v = p.integer("v");
+        return {{p.label, std::to_string(v * v)}};
+    };
+    bench.add(std::move(t));
+    return bench;
+}
+
+TEST(FigureBench, WarmCacheRerunExecutesZeroJobs)
+{
+    const std::string dir = scratchDir("bench_grid_cache");
+    std::atomic<int> emits{0};
+    const FigureBench bench = countingBench(dir, &emits);
+
+    BenchOptions opt;
+    opt.jobs = 2;
+    opt.cacheDir = dir + "cache";
+
+    std::ostringstream cold_out, cold_err;
+    ASSERT_EQ(bench.run(opt, cold_out, cold_err), 0)
+        << cold_err.str();
+    EXPECT_EQ(emits.load(), 3);
+    EXPECT_NE(cold_out.str().find("counting: cache: 0 hits, 3"
+                                  " misses, 3 stored; simulation jobs"
+                                  " executed: 3"),
+              std::string::npos)
+        << cold_out.str();
+    const std::string cold_csv = slurp(dir + "counting.csv");
+    EXPECT_NE(cold_csv.find("v=4,16"), std::string::npos);
+
+    // The warm rerun renders from the store: same bytes, no emits.
+    std::ostringstream warm_out, warm_err;
+    ASSERT_EQ(bench.run(opt, warm_out, warm_err), 0)
+        << warm_err.str();
+    EXPECT_EQ(emits.load(), 3);
+    EXPECT_NE(warm_out.str().find("counting: cache: 3 hits, 0"
+                                  " misses, 0 stored; simulation jobs"
+                                  " executed: 0"),
+              std::string::npos)
+        << warm_out.str();
+    EXPECT_EQ(slurp(dir + "counting.csv"), cold_csv);
+
+    // --cache off ignores the warm directory entirely.
+    BenchOptions off = opt;
+    off.cacheMode = cache::Mode::Off;
+    std::ostringstream off_out, off_err;
+    ASSERT_EQ(bench.run(off, off_out, off_err), 0) << off_err.str();
+    EXPECT_EQ(emits.load(), 6);
+    EXPECT_EQ(off_out.str().find("cache:"), std::string::npos);
+}
+
+TEST(FigureBench, ShardsResumeFromASharedCacheDir)
+{
+    const std::string dir = scratchDir("bench_grid_cache_shard");
+    std::atomic<int> emits{0};
+    const FigureBench bench = countingBench(dir, &emits);
+
+    // Shard 0 fills its slice; the full run only emits the rest.
+    BenchOptions s0;
+    s0.cacheDir = dir + "cache";
+    s0.shard = runner::Shard{0, 2};
+    std::ostringstream out0, err0;
+    ASSERT_EQ(bench.run(s0, out0, err0), 0) << err0.str();
+    const int shard0_emits = emits.load();
+    EXPECT_GT(shard0_emits, 0);
+
+    BenchOptions full;
+    full.cacheDir = dir + "cache";
+    std::ostringstream out1, err1;
+    ASSERT_EQ(bench.run(full, out1, err1), 0) << err1.str();
+    EXPECT_EQ(emits.load(), 3); // shard jobs were not re-emitted
+    EXPECT_NE(out1.str().find("cache: " +
+                              std::to_string(shard0_emits) +
+                              " hits"),
+              std::string::npos)
+        << out1.str();
+}
+
 TEST(FigureBench, JobFailureIsReportedNotSwallowed)
 {
     FigureBench bench("failing");
@@ -228,6 +320,15 @@ TEST(BenchArgs, ParsesJobsShardAndHelp)
     EXPECT_EQ(opt.shard.index, 1);
     EXPECT_EQ(opt.shard.count, 2);
     EXPECT_FALSE(opt.showHelp);
+    EXPECT_TRUE(opt.cacheDir.empty());
+
+    BenchOptions cached;
+    EXPECT_EQ(parseBenchArgs({"--cache-dir", "/tmp/c", "--cache",
+                              "refresh"},
+                             cached),
+              "");
+    EXPECT_EQ(cached.cacheDir, "/tmp/c");
+    EXPECT_EQ(cached.cacheMode, cache::Mode::Refresh);
 
     BenchOptions eq;
     EXPECT_EQ(parseBenchArgs({"--jobs=8", "--shard=0/4"}, eq), "");
@@ -253,6 +354,9 @@ TEST(BenchArgs, RejectsMalformedInput)
     EXPECT_NE(parseBenchArgs({"--shard", "2/2"}, opt), "");
     EXPECT_NE(parseBenchArgs({"--shard", "nope"}, opt), "");
     EXPECT_NE(parseBenchArgs({"--frobnicate", "1"}, opt), "");
+    EXPECT_NE(parseBenchArgs({"--cache", "rw"}, opt), "");
+    // --cache without --cache-dir is a usage error here too.
+    EXPECT_NE(parseBenchArgs({"--cache", "read"}, opt), "");
 }
 
 // ---- figure registry --------------------------------------------------

@@ -208,6 +208,161 @@ TEST(CliOptions, ShardIsNotSweepable)
         << err.str();
 }
 
+TEST(CliOptions, ParsesCacheFlags)
+{
+    auto res = parse({"--cache-dir", "/tmp/cache"});
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.options.cacheDir, "/tmp/cache");
+    EXPECT_EQ(res.options.cacheMode, cache::Mode::ReadWrite);
+
+    auto refresh =
+        parse({"--cache-dir=/tmp/cache", "--cache=refresh"});
+    ASSERT_TRUE(refresh.ok) << refresh.error;
+    EXPECT_EQ(refresh.options.cacheMode, cache::Mode::Refresh);
+
+    // Plain runs keep caching off entirely.
+    auto plain = parse({});
+    ASSERT_TRUE(plain.ok);
+    EXPECT_TRUE(plain.options.cacheDir.empty());
+}
+
+TEST(CliOptions, RejectsBadCacheFlags)
+{
+    EXPECT_FALSE(parse({"--cache-dir", ""}).ok);
+    EXPECT_FALSE(parse({"--cache-dir=/tmp/c", "--cache", "rw"}).ok);
+    // --cache without a directory is a usage error, not a no-op.
+    auto orphan = parse({"--cache", "read"});
+    EXPECT_FALSE(orphan.ok);
+    EXPECT_NE(orphan.error.find("--cache-dir"), std::string::npos);
+}
+
+TEST(CliOptions, CacheFlagsAreNotSweepable)
+{
+    for (const char *axis : {"cache=read,write", "cache-dir=a,b"}) {
+        auto res = parse({"--sweep", axis});
+        ASSERT_TRUE(res.ok) << res.error; // validated by the runner
+        std::ostringstream out, err;
+        EXPECT_EQ(runScenario(res.options, out, err), 2) << axis;
+        EXPECT_NE(err.str().find("not sweepable"), std::string::npos)
+            << err.str();
+    }
+}
+
+TEST(CliOptions, TracksExplicitlySetScenarioKeys)
+{
+    auto res = parse({"--workload", "spmm", "--sparsity=0.5",
+                      "--jobs", "2", "--arch", "canon"});
+    ASSERT_TRUE(res.ok) << res.error;
+    // Only scenario-grammar keys are tracked, not fixed flags.
+    EXPECT_EQ(res.options.explicitKeys,
+              (std::vector<std::string>{"workload", "sparsity"}));
+}
+
+// ---- workload/option relevance matrix ---------------------------------
+
+TEST(CliRelevance, PerWorkloadKeySetsMatchTheGrammar)
+{
+    Options o;
+    o.workload = Workload::Gemm;
+    EXPECT_TRUE(optionRelevant(o, "m"));
+    EXPECT_TRUE(optionRelevant(o, "seed"));
+    EXPECT_FALSE(optionRelevant(o, "sparsity"));
+    EXPECT_FALSE(optionRelevant(o, "nm"));
+    EXPECT_FALSE(optionRelevant(o, "window"));
+
+    o.workload = Workload::Spmm;
+    EXPECT_TRUE(optionRelevant(o, "sparsity"));
+    EXPECT_FALSE(optionRelevant(o, "nm"));
+
+    o.workload = Workload::SpmmNm;
+    EXPECT_TRUE(optionRelevant(o, "nm"));
+    EXPECT_FALSE(optionRelevant(o, "sparsity"));
+
+    o.workload = Workload::SddmmWindow;
+    EXPECT_TRUE(optionRelevant(o, "window"));
+    EXPECT_FALSE(optionRelevant(o, "n"));
+
+    // Fabric keys and the model selector are always relevant.
+    EXPECT_TRUE(optionRelevant(o, "rows"));
+    EXPECT_TRUE(optionRelevant(o, "clock-ghz"));
+    EXPECT_TRUE(optionRelevant(o, "model"));
+}
+
+TEST(CliRelevance, ModelRunsIgnoreShapeKeys)
+{
+    Options o;
+    o.model = "llama8b-attn";
+    EXPECT_FALSE(optionRelevant(o, "m"));
+    EXPECT_FALSE(optionRelevant(o, "workload"));
+    EXPECT_TRUE(optionRelevant(o, "sparsity")); // has a knob
+    EXPECT_TRUE(optionRelevant(o, "seed"));
+
+    o.model = "longformer"; // purely window-structured: no knob
+    EXPECT_FALSE(optionRelevant(o, "sparsity"));
+}
+
+TEST(CliRelevance, SingleRunsWarnOnIgnoredOptions)
+{
+    auto res = parse({"--workload", "spmm", "--nm", "2:8", "--m",
+                      "16", "--k", "16", "--n", "16"});
+    ASSERT_TRUE(res.ok) << res.error;
+    std::ostringstream out, err;
+    EXPECT_EQ(runScenario(res.options, out, err), 0); // warn, not fail
+    EXPECT_NE(err.str().find("option '--nm' is ignored by workload"
+                             " 'spmm'"),
+              std::string::npos)
+        << err.str();
+
+    auto win = parse({"--workload", "gemm", "--window", "32", "--m",
+                      "16", "--k", "16", "--n", "16"});
+    ASSERT_TRUE(win.ok) << win.error;
+    std::ostringstream wout, werr;
+    EXPECT_EQ(runScenario(win.options, wout, werr), 0);
+    EXPECT_NE(werr.str().find("'--window' is ignored"),
+              std::string::npos)
+        << werr.str();
+
+    // Relevant options stay silent.
+    auto clean = parse({"--workload", "spmm", "--sparsity", "0.5",
+                        "--m", "16", "--k", "16", "--n", "16"});
+    ASSERT_TRUE(clean.ok) << clean.error;
+    std::ostringstream cout_, cerr_;
+    EXPECT_EQ(runScenario(clean.options, cout_, cerr_), 0);
+    EXPECT_EQ(cerr_.str(), "");
+}
+
+TEST(CliRelevance, SweepsRejectAxesNoScenarioConsumes)
+{
+    // gemm never reads sparsity: the sweep would emit 3 identical
+    // row groups, so it is rejected up front.
+    auto res = parse({"--workload", "gemm", "--m", "16", "--k", "16",
+                      "--n", "16", "--sweep",
+                      "sparsity=0.3,0.5,0.7"});
+    ASSERT_TRUE(res.ok) << res.error;
+    std::ostringstream out, err;
+    EXPECT_EQ(runScenario(res.options, out, err), 2);
+    EXPECT_NE(err.str().find("has no effect"), std::string::npos)
+        << err.str();
+
+    // A workload axis that includes a consumer legitimizes the axis.
+    auto mixed = parse({"--m", "16", "--k", "16", "--n", "16",
+                        "--sweep", "workload=gemm,spmm", "--sweep",
+                        "sparsity=0.3,0.7"});
+    ASSERT_TRUE(mixed.ok) << mixed.error;
+    std::ostringstream mout, merr;
+    EXPECT_EQ(runScenario(mixed.options, mout, merr), 0)
+        << merr.str();
+
+    // A window-model-only sweep over sparsity is just as dead.
+    auto model = parse({"--model", "longformer", "--sweep",
+                        "sparsity=0.3,0.7"});
+    ASSERT_TRUE(model.ok) << model.error;
+    std::ostringstream oout, oerr;
+    EXPECT_EQ(runScenario(model.options, oout, oerr), 2);
+    EXPECT_NE(oerr.str().find("has no effect"), std::string::npos)
+        << oerr.str();
+}
+
 TEST(CliOptions, ParsesKnownModelAndRejectsUnknown)
 {
     auto res = parse({"--model", "llama8b-attn"});
