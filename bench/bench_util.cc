@@ -147,7 +147,9 @@ benchUsageText()
 std::string
 parseBenchArgs(const std::vector<std::string> &args, BenchOptions &out)
 {
-    bool cache_mode_set = false;
+    // A bench binary's whole grammar is --help plus the common
+    // execution flags; the shared parser keeps spellings, ranges,
+    // and error messages identical to canonsim's.
     for (std::size_t i = 0; i < args.size(); ++i) {
         std::string key = args[i];
         std::string value;
@@ -163,8 +165,7 @@ parseBenchArgs(const std::vector<std::string> &args, BenchOptions &out)
             out.showHelp = true;
             continue;
         }
-        if (key != "--jobs" && key != "--shard" &&
-            key != "--cache-dir" && key != "--cache")
+        if (!engine::isCommonFlag(key))
             return "unknown option '" + key + "' (see --help)";
         if (!have_value) {
             if (i + 1 >= args.size())
@@ -172,38 +173,12 @@ parseBenchArgs(const std::vector<std::string> &args, BenchOptions &out)
             value = args[++i];
         }
 
-        if (key == "--jobs") {
-            int v = 0;
-            try {
-                std::size_t pos = 0;
-                v = std::stoi(value, &pos);
-                if (pos != value.size())
-                    v = 0;
-            } catch (const std::exception &) {
-                v = 0;
-            }
-            if (v < 1 || v > 256)
-                return "option '--jobs' expects an integer in"
-                       " [1, 256], got '" + value + "'";
-            out.jobs = v;
-        } else if (key == "--cache-dir") {
-            if (value.empty())
-                return "option '--cache-dir' expects a path";
-            out.cacheDir = value;
-        } else if (key == "--cache") {
-            std::string err = cache::parseMode(value, out.cacheMode);
-            if (!err.empty())
-                return err;
-            cache_mode_set = true;
-        } else {
-            std::string err = runner::parseShard(value, out.shard);
-            if (!err.empty())
-                return "option '--shard': " + err;
-        }
+        std::string err;
+        engine::parseCommonFlag(key, value, out.common, err);
+        if (!err.empty())
+            return err;
     }
-    if (cache_mode_set && out.cacheDir.empty())
-        return "option '--cache' requires --cache-dir";
-    return {};
+    return engine::validateCommonFlags(out.common);
 }
 
 } // namespace bench

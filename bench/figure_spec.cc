@@ -2,16 +2,14 @@
 
 #include <exception>
 #include <iostream>
-#include <optional>
-#include <thread>
 
 #include "bench_util.hh"
 #include "cache/key.hh"
 #include "cache/payload.hh"
-#include "cache/store.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
-#include "runner/pool.hh"
+#include "engine/engine.hh"
+#include "runner/shard.hh"
 
 namespace canon
 {
@@ -155,46 +153,40 @@ FigureBench::run(const BenchOptions &opt, std::ostream &out,
             jobs.push_back({t, std::move(p)});
 
     const std::size_t total = jobs.size();
-    const auto [first, last] = runner::shardRange(opt.shard, total);
-    if (!opt.shard.whole()) {
+    const auto [first, last] =
+        runner::shardRange(opt.common.shard, total);
+    if (!opt.common.shard.whole()) {
         jobs = std::vector<JobRef>(
             jobs.begin() + static_cast<std::ptrdiff_t>(first),
             jobs.begin() + static_cast<std::ptrdiff_t>(last));
         out << name_ << ": " << jobs.size() << " of " << total
-            << " jobs (shard " << opt.shard.label() << ")\n";
+            << " jobs (shard " << opt.common.shard.label() << ")\n";
     }
 
-    int workers = opt.jobs > 0 ? opt.jobs : default_jobs_;
-    if (workers <= 0)
-        workers = static_cast<int>(
-            std::max(1u, std::thread::hardware_concurrency()));
-
-    std::optional<cache::ResultStore> store;
-    if (!opt.cacheDir.empty() &&
-        opt.cacheMode != cache::Mode::Off) {
-        store.emplace(opt.cacheDir, opt.cacheMode);
-        if (std::string serr = store->prepare(); !serr.empty()) {
-            err << name_ << ": " << serr << "\n";
-            return 1;
-        }
+    engine::Engine eng(
+        engine::makeEngineConfig(opt.common, default_jobs_));
+    if (std::string serr = eng.prepare(); !serr.empty()) {
+        err << name_ << ": " << serr << "\n";
+        return 1;
     }
 
-    // Execution goes through the payload codec on hit *and* miss, so
-    // a warm rerun renders exactly the bytes the cold run rendered.
+    // Submit the shard as one payload batch: execution goes through
+    // the payload codec on hit *and* miss, so a warm rerun renders
+    // exactly the bytes the cold run rendered.
+    std::vector<engine::PayloadJob> batch;
+    batch.reserve(jobs.size());
+    for (const JobRef &job : jobs) {
+        const FigureTable &table = tables_[job.table];
+        batch.push_back(
+            {cache::figureKey(name_, table.title, job.point.label),
+             [&table, &point = job.point] {
+                 return cache::encodeRows(table.emit(point));
+             }});
+    }
+
     std::vector<std::string> payloads;
     try {
-        payloads = runner::ScenarioPool(workers).mapCached(
-            jobs.size(),
-            [&](std::size_t i) {
-                return cache::figureKey(name_,
-                                        tables_[jobs[i].table].title,
-                                        jobs[i].point.label);
-            },
-            [&](std::size_t i) {
-                return cache::encodeRows(
-                    tables_[jobs[i].table].emit(jobs[i].point));
-            },
-            store ? &*store : nullptr);
+        payloads = eng.runPayloadBatch(batch);
     } catch (const std::exception &e) {
         err << name_ << ": " << e.what() << "\n";
         return 1;
@@ -204,7 +196,8 @@ FigureBench::run(const BenchOptions &opt, std::ostream &out,
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         if (!cache::decodeRows(payloads[i], results[i])) {
             err << name_ << ": corrupt cache entry for '"
-                << jobs[i].point.label << "' in " << opt.cacheDir
+                << jobs[i].point.label << "' in "
+                << opt.common.cacheDir
                 << " (rerun with --cache refresh)\n";
             return 1;
         }
@@ -225,7 +218,8 @@ FigureBench::run(const BenchOptions &opt, std::ostream &out,
         }
         table.print(out);
         if (!spec.csvName.empty() &&
-            !table.writeCsv(spec.csvName, opt.shard.index == 0)) {
+            !table.writeCsv(spec.csvName,
+                            opt.common.shard.index == 0)) {
             err << name_ << ": cannot write CSV to " << spec.csvName
                 << "\n";
             return 1;
@@ -233,8 +227,8 @@ FigureBench::run(const BenchOptions &opt, std::ostream &out,
         if (!spec.note.empty())
             out << "\n" << spec.note << "\n";
     }
-    if (store)
-        out << name_ << ": " << store->statsLine() << "\n";
+    if (eng.store())
+        out << name_ << ": " << eng.store()->statsLine() << "\n";
     return 0;
 }
 

@@ -5,8 +5,9 @@
  * Every figure of the paper's evaluation is a grid of scenarios. This
  * layer lets a bench binary *declare* that grid -- a FigureSpec axis
  * list per table, exactly the SweepSpec contract of src/runner/ --
- * and delegate execution to the shared runner::ScenarioPool, instead
- * of hand-rolling a serial scenario loop. One FigureBench holds the
+ * and submit it as one payload batch to a canon::engine::Engine
+ * (which owns the worker pool and the result cache), instead of
+ * hand-rolling a serial scenario loop. One FigureBench holds the
  * binary's tables; its job list is the concatenation of every table's
  * expanded grid, which gives all 13 binaries the same CLI for free:
  *
@@ -41,8 +42,7 @@
 #include <utility>
 #include <vector>
 
-#include "cache/mode.hh"
-#include "runner/shard.hh"
+#include "engine/common_flags.hh"
 
 namespace canon
 {
@@ -125,17 +125,15 @@ struct FigureTable
 /** Execution options shared by every figure bench binary. */
 struct BenchOptions
 {
-    int jobs = 0; //!< worker threads; 0 = the binary's default
-    runner::Shard shard;
-
     /**
-     * Content-addressed result cache (--cache-dir / --cache): grid
+     * The --jobs/--shard/--cache-dir/--cache flags, parsed by the
+     * grammar shared with canonsim (engine::parseCommonFlag).
+     * common.jobs of 0 means the binary's declared default; grid
      * points already in the cache render without executing their
      * emit function, so a warm rerun regenerates byte-identical CSVs
-     * with zero simulation jobs. Empty disables caching.
+     * with zero simulation jobs.
      */
-    std::string cacheDir;
-    cache::Mode cacheMode = cache::Mode::ReadWrite;
+    engine::CommonFlags common;
 
     bool showHelp = false;
 };
@@ -168,10 +166,10 @@ class FigureBench
     std::size_t jobCount() const;
 
     /**
-     * Execute this bench's shard of the job list on a
-     * runner::ScenarioPool and render every table (and CSV) in
-     * declaration order. Returns a process exit code: 0 on success,
-     * 1 when a job failed or a CSV could not be written.
+     * Submit this bench's shard of the job list to a canon::engine
+     * Engine as one payload batch and render every table (and CSV)
+     * in declaration order. Returns a process exit code: 0 on
+     * success, 1 when a job failed or a CSV could not be written.
      */
     int run(const BenchOptions &opt, std::ostream &out,
             std::ostream &err) const;

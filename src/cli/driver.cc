@@ -1,97 +1,26 @@
 #include "cli/driver.hh"
 
-#include <algorithm>
-#include <optional>
 #include <ostream>
 
-#include "cache/store.hh"
 #include "common/table.hh"
-#include "runner/aggregate.hh"
+#include "engine/engine.hh"
 #include "runner/pool.hh"
-#include "runner/shard.hh"
-#include "runner/sweep.hh"
-#include "workloads/models.hh"
 
 namespace canon
 {
 namespace cli
 {
 
-namespace
-{
-
-/** Run one workload case across the requested architectures. */
-CaseResult
-runSuiteCase(const Options &opt)
-{
-    ArchSuite suite(opt.fabricConfig(), opt.archs);
-    if (!opt.model.empty())
-        return suite.model(opt.sparsitySet
-                               ? modelByName(opt.model, opt.sparsity)
-                               : modelByName(opt.model),
-                           opt.seed);
-    switch (opt.workload) {
-      case Workload::Gemm:
-        return suite.gemm(opt.m, opt.k, opt.n, opt.seed);
-      case Workload::Spmm:
-        return suite.spmm(opt.m, opt.k, opt.n, opt.sparsity, opt.seed);
-      case Workload::SpmmNm:
-        return suite.spmmNm(opt.m, opt.k, opt.n, opt.nmN, opt.nmM,
-                            opt.seed);
-      case Workload::Sddmm:
-        return suite.sddmm(opt.m, opt.k, opt.n, opt.sparsity,
-                           opt.seed);
-      case Workload::SddmmWindow:
-        return suite.sddmmWindow(opt.m, opt.k, opt.window, opt.seed);
-    }
-    return {};
-}
-
-} // namespace
-
 CaseResult
 runCases(const Options &opt)
 {
-    // ArchSuite only simulates the selected architectures, so the
-    // canon-only run needs no separate fast path; the filter below
-    // just pins the result to exactly what was asked for.
-    Options o = opt;
-    if (o.archs.empty()) // Options contract: empty means canon only
-        o.archs.push_back("canon");
-    CaseResult all = runSuiteCase(o);
-    CaseResult r;
-    for (const auto &a : o.archs) {
-        auto it = all.find(a);
-        if (it != all.end())
-            r[a] = it->second;
-    }
-    return r;
+    return engine::runScenarioCases(opt);
 }
 
 Table
 buildStatsTable(const Options &opt, const CaseResult &cases)
 {
-    const CanonConfig cfg = opt.fabricConfig();
-
-    Table table("canonsim: " + opt.workloadLabel());
-    std::vector<std::string> header = {"Arch"};
-    for (const auto &col : runner::statsHeader())
-        header.push_back(col);
-    table.header(std::move(header));
-
-    const bool have_canon = cases.count("canon") != 0;
-    const double canon_cycles =
-        have_canon ? static_cast<double>(cases.at("canon").cycles)
-                   : 0.0;
-
-    for (const auto &arch : runner::orderedArchs(opt, cases)) {
-        std::vector<std::string> row = {arch};
-        for (auto &cell : runner::statsCells(cfg, cases.at(arch),
-                                             canon_cycles))
-            row.push_back(std::move(cell));
-        table.addRow(std::move(row));
-    }
-    return table;
+    return engine::scenarioStatsTable(opt, cases);
 }
 
 namespace
@@ -99,12 +28,12 @@ namespace
 
 /** Render the classic single-scenario report (the no-axis sweep). */
 int
-renderSingle(const Options &opt, const runner::ScenarioResult &result,
-             const cache::ResultStore *store, std::ostream &out,
-             std::ostream &err)
+renderSingle(const Options &opt, const engine::ResultSet &rs,
+             std::ostream &out, std::ostream &err)
 {
     out << opt.fabricConfig().describe() << "\n\n";
 
+    const runner::ScenarioResult &result = rs.scenarios().front();
     if (!result.error.empty()) {
         if (result.error == runner::kNoArchError)
             err << "canonsim: no requested architecture can execute '"
@@ -114,10 +43,10 @@ renderSingle(const Options &opt, const runner::ScenarioResult &result,
         return 1;
     }
 
-    Table table = buildStatsTable(opt, result.cases);
+    Table table = rs.statsTable();
     table.print(out);
-    if (store)
-        out << "\n" << store->statsLine() << "\n";
+    if (!rs.cacheStatsLine().empty())
+        out << "\n" << rs.cacheStatsLine() << "\n";
     if (!opt.csvPath.empty()) {
         if (!table.writeCsv(opt.csvPath)) {
             err << "canonsim: cannot write CSV to " << opt.csvPath
@@ -131,33 +60,30 @@ renderSingle(const Options &opt, const runner::ScenarioResult &result,
 
 /** Render the combined sweep report. */
 int
-renderSweep(const Options &opt, std::size_t total,
-            std::vector<runner::ScenarioResult> results,
-            const cache::ResultStore *store, std::ostream &out,
-            std::ostream &err)
+renderSweep(const Options &opt, const engine::ResultSet &rs,
+            std::ostream &out, std::ostream &err)
 {
-    const std::size_t count = results.size();
-    runner::SweepResult sweep(std::move(results));
+    const std::size_t count = rs.size();
 
     // Deliberately silent about --jobs: sweep output must be
     // byte-identical no matter how many workers executed it. The
     // shard, by contrast, changes which scenarios this process owns,
     // so it is part of the report.
     out << "canonsim sweep: ";
-    if (opt.shard.whole())
+    if (rs.shard().whole())
         out << count << " scenario" << (count == 1 ? "" : "s")
             << "\n";
     else
-        out << count << " of " << total << " scenario"
-            << (total == 1 ? "" : "s") << " (shard "
-            << opt.shard.label() << ")\n";
+        out << count << " of " << rs.totalJobs() << " scenario"
+            << (rs.totalJobs() == 1 ? "" : "s") << " (shard "
+            << rs.shard().label() << ")\n";
 
-    Table table = sweep.table();
+    Table table = rs.sweepTable();
     table.print(out);
-    if (store)
-        out << "\n" << store->statsLine() << "\n";
+    if (!rs.cacheStatsLine().empty())
+        out << "\n" << rs.cacheStatsLine() << "\n";
 
-    for (const auto &r : sweep.scenarios())
+    for (const auto &r : rs.scenarios())
         if (!r.error.empty())
             err << "canonsim: scenario '" << r.job.point
                 << "' failed: " << r.error << "\n";
@@ -165,14 +91,56 @@ renderSweep(const Options &opt, std::size_t total,
     if (!opt.csvPath.empty()) {
         // Shard 0 owns the CSV header; concatenating the shard files
         // in order then reproduces the unsharded CSV byte for byte.
-        if (!table.writeCsv(opt.csvPath, opt.shard.index == 0)) {
+        if (!table.writeCsv(opt.csvPath, rs.shard().index == 0)) {
             err << "canonsim: cannot write CSV to " << opt.csvPath
                 << "\n";
             return 1;
         }
         out << "\nCSV written to " << opt.csvPath << "\n";
     }
-    return sweep.failureCount() == 0 ? 0 : 1;
+    return rs.failureCount() == 0 ? 0 : 1;
+}
+
+/**
+ * Render the --dry-run report: the sharded scenario list with each
+ * scenario's cache digest and hit/miss forecast. Nothing simulates;
+ * the forecast line's "simulation jobs to execute" is what a real
+ * run's "simulation jobs executed" would report.
+ */
+int
+renderDryRun(const engine::ScenarioRequest &req, engine::Engine &eng,
+             std::ostream &out)
+{
+    const std::vector<engine::ScenarioPlan> plans = eng.plan(req);
+    const std::size_t total = req.jobCount();
+
+    out << "canonsim dry-run: ";
+    if (req.options().common.shard.whole())
+        out << plans.size() << " scenario"
+            << (plans.size() == 1 ? "" : "s") << "\n";
+    else
+        out << plans.size() << " of " << total << " scenario"
+            << (total == 1 ? "" : "s") << " (shard "
+            << req.options().common.shard.label() << ")\n";
+
+    Table table("canonsim dry-run");
+    table.header({"Scenario", "Point", "CacheKey", "Forecast"});
+    std::size_t hits = 0, misses = 0;
+    for (const auto &p : plans) {
+        hits += p.forecast == engine::ScenarioPlan::Forecast::Hit;
+        misses += p.forecast != engine::ScenarioPlan::Forecast::Hit;
+        table.addRow({p.job.options.workloadLabel(),
+                      p.job.point.empty() ? "-" : p.job.point,
+                      p.key.digest(),
+                      engine::forecastName(p.forecast)});
+    }
+    table.print(out);
+
+    if (eng.store())
+        out << "\ndry-run forecast: " << hits << " hits, " << misses
+            << " misses; simulation jobs to execute: " << misses
+            << "\n";
+    return 0;
 }
 
 } // namespace
@@ -180,95 +148,39 @@ renderSweep(const Options &opt, std::size_t total,
 int
 runScenario(const Options &opt, std::ostream &out, std::ostream &err)
 {
-    runner::SweepSpec spec;
-    if (std::string serr = runner::makeSweepSpec(opt.sweepAxes, spec);
-        !serr.empty()) {
+    engine::ScenarioRequest req =
+        engine::ScenarioRequest::fromOptions(opt);
+    if (!req.validate()) {
         // Same shape as main.cc's parse failure: error, blank line,
         // usage, exit 2.
-        err << "canonsim: " << serr << "\n\n" << usageText();
+        err << "canonsim: " << req.error() << "\n\n" << usageText();
         return 2;
-    }
-
-    std::vector<runner::SweepJob> jobs = spec.expand(opt);
-
-    // Per-workload relevance guard (generalizes the old model-pins-
-    // the-shape special case): an axis no expanded scenario consumes
-    // would only repeat identical rows, so it is a usage error. The
-    // canonical cases: any shape axis when every scenario runs a
-    // model, --sweep sparsity with gemm/spmm-nm, --sweep window
-    // without sddmm-window, --sweep n with only sddmm-window.
-    for (const auto &[axis_key, axis_values] : opt.sweepAxes) {
-        (void)axis_values;
-        const bool consumed = std::any_of(
-            jobs.begin(), jobs.end(),
-            [&key = axis_key](const runner::SweepJob &job) {
-                return optionRelevant(job.options, key);
-            });
-        if (!consumed) {
-            err << "canonsim: sweep axis '" << axis_key
-                << "' has no effect: every scenario in this sweep"
-                   " ignores it (see the per-workload option table in"
-                   " --list; include 'none' in a model axis to mix"
-                   " model and shape scenarios)\n\n"
-                << usageText();
-            return 2;
-        }
     }
 
     // Single runs warn -- once per offending flag, on stderr, without
     // failing -- when an explicitly set option is ignored by the
     // selected workload or model (`--nm` with spmm, `--window` with
     // gemm, `--sparsity` with a window-attention model, ...).
-    if (opt.sweepAxes.empty()) {
-        std::vector<std::string> warned;
-        for (const auto &key : opt.explicitKeys) {
-            if (optionRelevant(opt, key) ||
-                std::find(warned.begin(), warned.end(), key) !=
-                    warned.end())
-                continue;
-            warned.push_back(key);
-            err << "canonsim: warning: option '--" << key
-                << "' is ignored by "
-                << (opt.model.empty()
-                        ? "workload '" +
-                              std::string(workloadName(opt.workload)) +
-                              "'"
-                        : "model '" + opt.model + "'")
-                << "\n";
-        }
+    for (const auto &note : req.warnings())
+        err << "canonsim: warning: " << note << "\n";
+
+    engine::Engine eng(engine::makeEngineConfig(opt.common, 1));
+    if (std::string perr = eng.prepare(); !perr.empty()) {
+        err << "canonsim: " << perr << "\n";
+        return 1;
     }
 
-    const std::size_t total = jobs.size();
-    if (!opt.shard.whole()) {
-        const auto [first, last] = runner::shardRange(opt.shard, total);
-        jobs = std::vector<runner::SweepJob>(
-            jobs.begin() + static_cast<std::ptrdiff_t>(first),
-            jobs.begin() + static_cast<std::ptrdiff_t>(last));
-    }
+    if (opt.dryRun)
+        return renderDryRun(req, eng, out);
 
-    std::optional<cache::ResultStore> store;
-    if (!opt.cacheDir.empty() &&
-        opt.cacheMode != cache::Mode::Off) {
-        store.emplace(opt.cacheDir, opt.cacheMode);
-        if (std::string serr = store->prepare(); !serr.empty()) {
-            err << "canonsim: " << serr << "\n";
-            return 1;
-        }
-    }
-
-    runner::ScenarioPool pool(opt.jobs);
-    std::vector<runner::ScenarioResult> results = pool.run(
-        jobs, [](const Options &o) { return runCases(o); },
-        store ? &*store : nullptr);
+    engine::ResultSet rs = eng.run(req);
 
     // A sharded run always uses the sweep report, even for a single
     // scenario: its slice may be empty and its CSV must obey the
     // shard concatenation contract.
-    if (opt.sweepAxes.empty() && opt.shard.whole())
-        return renderSingle(opt, results.front(),
-                            store ? &*store : nullptr, out, err);
-    return renderSweep(opt, total, std::move(results),
-                       store ? &*store : nullptr, out, err);
+    if (rs.single())
+        return renderSingle(opt, rs, out, err);
+    return renderSweep(opt, rs, out, err);
 }
 
 } // namespace cli

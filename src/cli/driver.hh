@@ -1,16 +1,17 @@
 /**
  * @file
- * The canonsim execution driver: turns validated Options into
- * simulation runs (Canon cycle simulation through the orchestrators
- * and the cycle loop, plus the analytical baseline models on request)
- * and renders the stats tables.
+ * The canonsim execution driver: a thin adapter that turns validated
+ * Options into an engine::ScenarioRequest, submits it to a
+ * canon::engine::Engine (which owns the worker pool, the result
+ * cache, and the arch registry), and renders the returned ResultSet
+ * as the classic stats tables. --dry-run renders the engine's plan
+ * (scenario list, cache keys, hit/miss forecast) instead of running.
  *
  * Every invocation is a sweep: the --sweep axes expand into a job
- * list (the cartesian product; no axes means one job) that a
- * runner::ScenarioPool executes across --jobs worker threads. The
- * run step is separated from the printing step, and all output goes
- * through caller-supplied streams, so tests can make assertions on
- * both the raw profiles and the rendered text.
+ * list (the cartesian product; no axes means one job) executed
+ * across --jobs worker threads. All output goes through
+ * caller-supplied streams, so tests can make assertions on both the
+ * raw profiles and the rendered text.
  */
 
 #ifndef CANON_CLI_DRIVER_HH

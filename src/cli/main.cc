@@ -9,6 +9,7 @@
 
 #include "cli/driver.hh"
 #include "cli/options.hh"
+#include "engine/registry.hh"
 
 int
 main(int argc, char **argv)
@@ -27,7 +28,9 @@ main(int argc, char **argv)
         return 0;
     }
     if (parsed.options.listWorkloads) {
-        std::cout << workloadListText();
+        // Introspection straight from the engine registry, so the
+        // listing cannot drift from what the engine accepts.
+        std::cout << canon::engine::listText();
         return 0;
     }
     return runScenario(parsed.options, std::cout, std::cerr);

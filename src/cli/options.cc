@@ -419,29 +419,27 @@ usageText()
         "\n"
         "Output:\n"
         "  --csv PATH        also write the stats table as CSV\n"
-        "  --list            list workloads and exit\n"
+        "  --dry-run         print the expanded scenario list with\n"
+        "                    cache keys and hit/miss forecasts, then\n"
+        "                    exit without simulating\n"
+        "  --list            list workloads, models, architectures,\n"
+        "                    and sweepable options from the engine\n"
+        "                    registry, then exit\n"
         "  --help            show this text and exit\n");
     return text.c_str();
 }
 
-std::string
-workloadListText()
+const std::vector<std::string> &
+scenarioOptionKeys()
 {
-    std::ostringstream oss;
-    oss << "gemm          dense GEMM (dense-cadence kernel);"
-           " uses --m --k --n\n"
-        << "spmm          unstructured SpMM; adds --sparsity\n"
-        << "spmm-nm       N:M structured SpMM; adds --nm\n"
-        << "sddmm         unstructured SDDMM; --sparsity is the"
-           " output mask\n"
-        << "sddmm-window  sliding-window SDDMM; --m is the sequence"
-           " length,\n"
-        << "              --window the band width (--n ignored)\n"
-        << "\nModels (--model, Figure 14):";
-    for (const auto &name : knownModelNames())
-        oss << " " << name;
-    oss << "\n";
-    return oss.str();
+    // Keep in lockstep with applyScenarioOption above: every key it
+    // accepts appears here, in canonical order. The engine registry
+    // drift test round-trips each key through the grammar.
+    static const std::vector<std::string> keys = {
+        "workload", "model",  "m",    "k",    "n",
+        "sparsity", "nm",     "window", "seed", "rows",
+        "cols",     "spad",   "dmem", "clock-ghz"};
+    return keys;
 }
 
 ParseResult
@@ -449,7 +447,6 @@ parseArgs(const std::vector<std::string> &args)
 {
     ParseResult res;
     Options &opt = res.options;
-    bool cache_mode_set = false;
 
     auto fail = [&res](const std::string &msg) {
         res.ok = false;
@@ -476,6 +473,10 @@ parseArgs(const std::vector<std::string> &args)
             opt.listWorkloads = true;
             continue;
         }
+        if (key == "--dry-run") {
+            opt.dryRun = true;
+            continue;
+        }
 
         // Everything else takes a value.
         if (!have_value) {
@@ -483,6 +484,17 @@ parseArgs(const std::vector<std::string> &args)
                 return fail("option '" + key + "' expects a value");
             value = args[++i];
         }
+
+        // --jobs/--shard/--cache-dir/--cache: the execution grammar
+        // shared with every bench binary (engine::CommonFlags).
+        std::string common_err;
+        const engine::FlagParse common_parse =
+            engine::parseCommonFlag(key, value, opt.common,
+                                    common_err);
+        if (common_parse == engine::FlagParse::Error)
+            return fail(common_err);
+        if (common_parse == engine::FlagParse::Ok)
+            continue;
 
         if (key == "--arch") {
             opt.archs.clear();
@@ -524,25 +536,6 @@ parseArgs(const std::vector<std::string> &args)
                             " got '" + value + "'");
             opt.sweepAxes.emplace_back(value.substr(0, eq),
                                        value.substr(eq + 1));
-        } else if (key == "--jobs") {
-            std::int64_t v = 0;
-            if (!parseI64(value, v) || v < 1 || v > 256)
-                return fail("option '--jobs' expects an integer in"
-                            " [1, 256], got '" + value + "'");
-            opt.jobs = static_cast<int>(v);
-        } else if (key == "--shard") {
-            std::string err = runner::parseShard(value, opt.shard);
-            if (!err.empty())
-                return fail("option '--shard': " + err);
-        } else if (key == "--cache-dir") {
-            if (value.empty())
-                return fail("option '--cache-dir' expects a path");
-            opt.cacheDir = value;
-        } else if (key == "--cache") {
-            std::string err = cache::parseMode(value, opt.cacheMode);
-            if (!err.empty())
-                return fail(err);
-            cache_mode_set = true;
         } else if (key.rfind("--", 0) == 0) {
             std::string err =
                 applyScenarioOption(opt, key.substr(2), value);
@@ -554,8 +547,9 @@ parseArgs(const std::vector<std::string> &args)
         }
     }
 
-    if (cache_mode_set && opt.cacheDir.empty())
-        return fail("option '--cache' requires --cache-dir");
+    if (std::string err = engine::validateCommonFlags(opt.common);
+        !err.empty())
+        return fail(err);
 
     if (opt.archs.empty())
         opt.archs.push_back("canon");

@@ -16,9 +16,8 @@
 #include <utility>
 #include <vector>
 
-#include "cache/mode.hh"
 #include "core/config.hh"
-#include "runner/shard.hh"
+#include "engine/common_flags.hh"
 
 namespace canon
 {
@@ -76,23 +75,14 @@ struct Options
      */
     std::vector<std::pair<std::string, std::string>> sweepAxes;
 
-    /** Worker threads for sweep execution. */
-    int jobs = 1;
-
     /**
-     * This process's slice of the expanded job list (--shard i/n).
-     * The default whole shard runs everything; shards concatenate in
-     * order (see runner/shard.hh for the ownership contract).
+     * The execution flags shared with every other entry point
+     * (--jobs worker threads, --shard i/n process slice, --cache-dir
+     * / --cache result cache), parsed by the one common grammar in
+     * engine::parseCommonFlag. common.jobs of 0 means "not given";
+     * canonsim's default is 1 worker.
      */
-    runner::Shard shard;
-
-    /**
-     * Content-addressed result cache directory (src/cache). Empty
-     * disables caching; a non-empty directory is shared safely by
-     * concurrent --jobs workers and separate --shard processes.
-     */
-    std::string cacheDir;
-    cache::Mode cacheMode = cache::Mode::ReadWrite;
+    engine::CommonFlags common;
 
     /**
      * Scenario option keys set explicitly on the command line, in
@@ -104,6 +94,7 @@ struct Options
     std::string csvPath; //!< also dump the stats table as CSV
     bool showHelp = false;
     bool listWorkloads = false;
+    bool dryRun = false; //!< plan + cache forecast, no simulation
 
     CanonConfig fabricConfig() const;
 
@@ -136,11 +127,16 @@ ParseResult parseArgs(const std::vector<std::string> &args);
 /** The --help text. */
 const char *usageText();
 
-/** The --list text: one line per workload with its shape options. */
-std::string workloadListText();
-
 /** Canonical name of a Workload ("spmm", "sddmm-window", ...). */
 const char *workloadName(Workload w);
+
+/**
+ * Every key applyScenarioOption accepts, in canonical order (the
+ * scenario selectors and shapes, then the fabric keys). This is the
+ * sweepable-option vocabulary the engine registry advertises; a
+ * drift test round-trips each key through the option grammar.
+ */
+const std::vector<std::string> &scenarioOptionKeys();
 
 /** Every runnable architecture, in the paper's display order. */
 const std::vector<std::string> &knownArchs();

@@ -1,0 +1,82 @@
+#include "engine/common_flags.hh"
+
+#include <charconv>
+
+namespace canon
+{
+namespace engine
+{
+
+namespace
+{
+
+bool
+parseInt(const std::string &s, int &out)
+{
+    const char *first = s.data();
+    const char *last = s.data() + s.size();
+    auto [ptr, ec] = std::from_chars(first, last, out);
+    return ec == std::errc() && ptr == last;
+}
+
+} // namespace
+
+bool
+isCommonFlag(const std::string &key)
+{
+    return key == "--jobs" || key == "--shard" ||
+           key == "--cache-dir" || key == "--cache";
+}
+
+FlagParse
+parseCommonFlag(const std::string &key, const std::string &value,
+                CommonFlags &out, std::string &error)
+{
+    if (key == "--jobs") {
+        int v = 0;
+        if (!parseInt(value, v) || v < 1 || v > 256) {
+            error = "option '--jobs' expects an integer in [1, 256],"
+                    " got '" + value + "'";
+            return FlagParse::Error;
+        }
+        out.jobs = v;
+        return FlagParse::Ok;
+    }
+    if (key == "--shard") {
+        if (std::string err = runner::parseShard(value, out.shard);
+            !err.empty()) {
+            error = "option '--shard': " + err;
+            return FlagParse::Error;
+        }
+        return FlagParse::Ok;
+    }
+    if (key == "--cache-dir") {
+        if (value.empty()) {
+            error = "option '--cache-dir' expects a path";
+            return FlagParse::Error;
+        }
+        out.cacheDir = value;
+        return FlagParse::Ok;
+    }
+    if (key == "--cache") {
+        if (std::string err = cache::parseMode(value, out.cacheMode);
+            !err.empty()) {
+            error = err;
+            return FlagParse::Error;
+        }
+        out.cacheModeSet = true;
+        return FlagParse::Ok;
+    }
+    return FlagParse::NotCommon;
+}
+
+std::string
+validateCommonFlags(const CommonFlags &flags)
+{
+    if (flags.cacheModeSet && flags.cacheDir.empty())
+        return "option '--cache' requires --cache-dir";
+    return {};
+}
+
+} // namespace engine
+} // namespace canon

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The execution flags every canon entry point shares: worker count,
+ * process shard, and result-cache directory/mode. canonsim, all 13
+ * figure benches, and embedders configure an Engine from the same
+ * CommonFlags value, and both CLI parsers (cli/options.cc and
+ * bench/bench_util.cc) consume the --jobs/--shard/--cache-dir/--cache
+ * grammar through the one parser below, so spellings, ranges, and
+ * error messages cannot drift between the binaries.
+ *
+ * The header is deliberately a leaf: it depends only on the shard and
+ * cache-mode value types, never on the options or engine layers, so
+ * any CLI front end can embed a CommonFlags without pulling in the
+ * simulator.
+ */
+
+#ifndef CANON_ENGINE_COMMON_FLAGS_HH
+#define CANON_ENGINE_COMMON_FLAGS_HH
+
+#include <string>
+
+#include "cache/mode.hh"
+#include "runner/shard.hh"
+
+namespace canon
+{
+namespace engine
+{
+
+struct CommonFlags
+{
+    /**
+     * Worker threads for batch execution; 0 means "the entry point's
+     * default" (canonsim: 1; figure benches: the binary's declared
+     * default, falling back to hardware concurrency).
+     */
+    int jobs = 0;
+
+    /** This process's slice of the expanded job list (--shard i/n). */
+    runner::Shard shard;
+
+    /**
+     * Content-addressed result cache directory (src/cache). Empty
+     * disables caching; a non-empty directory is shared safely by
+     * concurrent --jobs workers and separate --shard processes.
+     */
+    std::string cacheDir;
+    cache::Mode cacheMode = cache::Mode::ReadWrite;
+
+    /** --cache given explicitly (it requires --cache-dir). */
+    bool cacheModeSet = false;
+};
+
+/** Outcome of offering one flag to parseCommonFlag. */
+enum class FlagParse : int
+{
+    NotCommon, //!< not a common flag; the caller's grammar owns it
+    Ok,        //!< consumed and applied
+    Error,     //!< a common flag with a bad value; see the message
+};
+
+/** True for the four keys parseCommonFlag recognizes. */
+bool isCommonFlag(const std::string &key);
+
+/**
+ * Offer one already-split "--key" / value pair to the common grammar.
+ * Recognizes --jobs, --shard, --cache-dir, and --cache (the caller
+ * handles --key=value splitting and value lookahead). On Error,
+ * @p error holds the message; on NotCommon nothing is touched.
+ */
+FlagParse parseCommonFlag(const std::string &key,
+                          const std::string &value, CommonFlags &out,
+                          std::string &error);
+
+/**
+ * Cross-flag validation, called once after the last flag: --cache
+ * without --cache-dir is a usage error. Returns an empty string on
+ * success, otherwise the message.
+ */
+std::string validateCommonFlags(const CommonFlags &flags);
+
+} // namespace engine
+} // namespace canon
+
+#endif // CANON_ENGINE_COMMON_FLAGS_HH

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * canon::engine -- the one typed façade every entry point runs
+ * through.
+ *
+ * An Engine owns the execution machinery that canonsim, the 13
+ * figure benches, the tests, and embedders used to hand-wire
+ * individually: the runner::ScenarioPool worker pool, the optional
+ * cache::ResultStore, and (via the registry header) the
+ * workload/model/architecture tables. Callers submit typed
+ * ScenarioRequests and get ResultSets back:
+ *
+ *     engine::Engine eng(engine::EngineConfig{.jobs = 4});
+ *     auto rs = eng.run(engine::ScenarioRequest()
+ *                           .workload(cli::Workload::Spmm)
+ *                           .shape(256, 256, 64)
+ *                           .sparsity(0.7)
+ *                           .archs({"canon", "zed"}));
+ *
+ * Determinism contract (inherited from the runner layer): results
+ * land at their expansion index, so a ResultSet -- and any table or
+ * CSV rendered from it -- is byte-identical for every worker count;
+ * the streaming overload delivers results in that same index order.
+ *
+ * Thread-safety: one Engine may be shared across threads after
+ * construction. The run()/runBatch()/plan() entry points spawn
+ * their own workers and only touch internally synchronized engine
+ * state: the store's atomic counters, and the lazy cache-directory
+ * preparation (a std::call_once). They are non-const because they
+ * own that lazily prepared state.
+ */
+
+#ifndef CANON_ENGINE_ENGINE_HH
+#define CANON_ENGINE_ENGINE_HH
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/store.hh"
+#include "engine/common_flags.hh"
+#include "engine/request.hh"
+#include "engine/result_set.hh"
+#include "runner/pool.hh"
+
+namespace canon
+{
+namespace engine
+{
+
+struct EngineConfig
+{
+    /** Worker threads; <= 0 means hardware concurrency. */
+    int jobs = 0;
+
+    /** Result-cache directory; empty (or Mode::Off) runs uncached. */
+    std::string cacheDir;
+    cache::Mode cacheMode = cache::Mode::ReadWrite;
+};
+
+/**
+ * EngineConfig from parsed CommonFlags. @p default_jobs fills in
+ * when --jobs was absent (canonsim passes 1, benches their declared
+ * default); 0 falls through to hardware concurrency.
+ */
+EngineConfig makeEngineConfig(const CommonFlags &flags,
+                              int default_jobs = 0);
+
+/**
+ * Streaming result consumer: called once per scenario, in expansion
+ * order, as soon as the scenario and every lower-indexed one have
+ * finished. Calls are serialized (never concurrent with each other)
+ * but run on pool worker threads while later scenarios are still
+ * executing, so the callback must not block for long and must not
+ * touch the pool.
+ */
+using ResultCallback =
+    std::function<void(const runner::ScenarioResult &)>;
+
+/**
+ * One entry of a dry-run plan: the scenario, its cache identity, and
+ * what the engine predicts the cache will do with it.
+ */
+struct ScenarioPlan
+{
+    runner::SweepJob job;
+    cache::ScenarioKey key;
+
+    enum class Forecast
+    {
+        Hit,      //!< a decodable entry is already in the store
+        Miss,     //!< the scenario would execute (and maybe store)
+        Uncached, //!< no store configured; always executes
+    };
+    Forecast forecast = Forecast::Uncached;
+};
+
+/** Plan forecast as the word dry-run reports print. */
+const char *forecastName(ScenarioPlan::Forecast f);
+
+/**
+ * One unit of a payload-level batch (the figure-bench submission
+ * path): a cache identity plus the computation that produces the
+ * payload bytes on a miss.
+ */
+struct PayloadJob
+{
+    cache::ScenarioKey key;
+    std::function<std::string()> compute;
+};
+
+class Engine
+{
+  public:
+    explicit Engine(EngineConfig config = {});
+
+    /** Resolved worker-thread count (never 0). */
+    int workers() const { return workers_; }
+
+    /**
+     * Create the cache directory if this engine is cached. Returns an
+     * empty string on success, otherwise the error message. Runs
+     * once (thread-safely); called implicitly by the run entry
+     * points, or directly to report a bad cache directory before
+     * submitting work.
+     */
+    std::string prepare();
+
+    /** The result store, or nullptr for an uncached engine. */
+    const cache::ResultStore *store() const
+    {
+        return store_ ? &*store_ : nullptr;
+    }
+
+    /**
+     * The "cache: H hits, M misses, S stored; ..." report line;
+     * empty for an uncached engine. Counters accumulate across this
+     * engine's runs.
+     */
+    std::string cacheStatsLine() const;
+
+    /**
+     * Validate @p req, expand it, take its shard's slice, and execute
+     * on the worker pool (consulting the cache store when configured).
+     * With @p onResult, each scenario is additionally streamed in
+     * expansion order as it completes. Never throws on scenario
+     * failure -- inspect the ResultSet.
+     */
+    ResultSet run(const ScenarioRequest &req,
+                  const ResultCallback &onResult = {});
+
+    /**
+     * Submit several requests as one batch: every request's sharded
+     * expansion executes on one shared pool (so concurrency spans
+     * request boundaries), and each request gets its own ResultSet at
+     * its index. An invalid request yields its InvalidRequest
+     * ResultSet without blocking the others. @p onResult streams all
+     * scenarios in global (request-major) order.
+     */
+    std::vector<ResultSet>
+    runBatch(const std::vector<ScenarioRequest> &requests,
+             const ResultCallback &onResult = {});
+
+    /**
+     * Dry-run: the sharded scenario list @p req would execute, with
+     * each scenario's cache key and a hit/miss forecast against the
+     * current store contents. Never simulates and never touches the
+     * cache counters. An invalid request yields an empty plan (check
+     * req.validate() / req.error()).
+     */
+    std::vector<ScenarioPlan> plan(const ScenarioRequest &req);
+
+    /**
+     * Payload-level batch: for every job, the stored payload under
+     * its key when the store has one, otherwise compute() (stored per
+     * the engine's cache mode). Payloads return in submission order,
+     * bit-exact whether they came from the store or the computation.
+     * Throws std::runtime_error with the lowest-indexed failure after
+     * every job has been attempted (the pool's map contract).
+     */
+    std::vector<std::string>
+    runPayloadBatch(const std::vector<PayloadJob> &jobs);
+
+  private:
+    ResultSet rejected(const ScenarioRequest &req) const;
+    ResultSet execute(const std::vector<runner::SweepJob> &sharded,
+                      const ScenarioRequest &req, std::size_t total,
+                      const ResultCallback &onResult);
+
+    EngineConfig config_;
+    int workers_;
+    runner::ScenarioPool pool_;
+    std::optional<cache::ResultStore> store_;
+    std::once_flag prepare_once_;
+    std::string prepare_error_; //!< written once under prepare_once_
+};
+
+/**
+ * Run one options value across its requested architectures (the
+ * scenario executor behind every Engine submission; cli::runCases
+ * forwards here). Only the requested architectures are simulated;
+ * ones that cannot execute the workload are absent from the result.
+ */
+CaseResult runScenarioCases(const cli::Options &opt);
+
+} // namespace engine
+} // namespace canon
+
+#endif // CANON_ENGINE_ENGINE_HH

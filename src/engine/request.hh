@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Typed scenario requests for the canon::engine façade.
+ *
+ * A ScenarioRequest is everything one submission to the Engine can
+ * say: the workload (or whole model), its shape and sparsity knobs,
+ * the fabric configuration, the architecture set, optional sweep axes
+ * (the cartesian product expands into one scenario per combination),
+ * and the process shard. It replaces the ad-hoc option plumbing the
+ * entry points used to hand-wire: the CLI builds one from parsed
+ * argv, benches and embedders build one with the typed setters, and
+ * both get exactly the same validation.
+ *
+ * Validation happens at construction time, through the same grammar
+ * the CLI parser uses (cli::applyScenarioOption and
+ * runner::SweepSpec::addAxis), so a request cannot drift from what
+ * canonsim accepts: every setter validates immediately and records
+ * the first failure, and validate() finishes the job against the
+ * per-workload relevance matrix (a sweep axis no expanded scenario
+ * consumes is an error; an explicitly set option the selected
+ * workload ignores becomes a warning). Error and warning texts are
+ * byte-identical to the CLI's, which is asserted by the engine tests.
+ *
+ * Thread-safety: build a request on one thread, then share it const.
+ * validate() caches its verdict into mutable members without
+ * synchronization, so either call it once before sharing or leave it
+ * to the Engine -- the run/plan entry points validate a private copy
+ * and never mutate the caller's request.
+ */
+
+#ifndef CANON_ENGINE_REQUEST_HH
+#define CANON_ENGINE_REQUEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cli/options.hh"
+#include "runner/sweep.hh"
+
+namespace canon
+{
+namespace engine
+{
+
+class ScenarioRequest
+{
+  public:
+    /** Defaults: spmm 256x256x64 s=0.7 on the paper fabric, canon. */
+    ScenarioRequest() = default;
+
+    /**
+     * Adopt already-parsed CLI options (the canonsim adapter). The
+     * sweep axes and explicit-key list carry over; axis validation
+     * runs immediately, exactly as the typed sweep() setter would.
+     */
+    static ScenarioRequest fromOptions(const cli::Options &opt);
+
+    // ---- scenario setters ---------------------------------------------
+    //
+    // Every setter validates through the CLI option grammar and
+    // returns *this for chaining; the first failure is latched and
+    // reported by error() (later setters still apply when they are
+    // themselves valid). Typed setters funnel through set(), so a
+    // value a setter accepts is exactly a value the CLI accepts.
+
+    /** Apply one scenario/fabric option by bare key ("m", "nm"...). */
+    ScenarioRequest &set(const std::string &key,
+                         const std::string &value);
+
+    ScenarioRequest &workload(cli::Workload w);
+    ScenarioRequest &model(const std::string &name);
+    ScenarioRequest &shape(std::int64_t m, std::int64_t k,
+                           std::int64_t n);
+    ScenarioRequest &sparsity(double s);
+    ScenarioRequest &nm(int n, int m);
+    ScenarioRequest &window(std::int64_t w);
+
+    /**
+     * RNG seed. The CLI grammar restricts seeds to [0, 2^63 - 1];
+     * a larger value latches a validation error (with the grammar's
+     * range message) rather than being accepted silently.
+     */
+    ScenarioRequest &seed(std::uint64_t s);
+    ScenarioRequest &fabric(int rows, int cols);
+    ScenarioRequest &spad(int entries);
+    ScenarioRequest &dmem(int slots);
+    ScenarioRequest &clockGhz(double ghz);
+
+    /**
+     * Replace the architecture set. Names are validated against the
+     * arch registry; "all" selects every architecture. An empty list
+     * means canon only (the Options contract).
+     */
+    ScenarioRequest &archs(const std::vector<std::string> &names);
+
+    /**
+     * Add one sweep axis (comma-separated values). Axes combine as a
+     * cartesian product; values are validated now, against the same
+     * grammar as the CLI, so expansion later cannot fail.
+     */
+    ScenarioRequest &sweep(const std::string &key,
+                           const std::string &values);
+
+    /** Own slice i of n of the expanded scenario list. */
+    ScenarioRequest &shard(int index, int count);
+
+    // ---- validation ---------------------------------------------------
+
+    /**
+     * Finish validation: build the sweep expansion and check it
+     * against the per-workload relevance matrix. Idempotent and
+     * cheap to repeat; Engine::run calls it implicitly. Returns true
+     * when the request is runnable.
+     */
+    bool validate() const;
+
+    /** First validation failure; empty when the request is valid. */
+    const std::string &error() const;
+
+    /**
+     * Ignored-option notes for a single (no-axis) request: one
+     * "option '--X' is ignored by workload 'Y'" line per explicitly
+     * set option the selected workload or model does not consume.
+     * Filled by validate().
+     */
+    const std::vector<std::string> &warnings() const;
+
+    // ---- inspection ---------------------------------------------------
+
+    /** The underlying options value (the scenario vocabulary). */
+    const cli::Options &options() const { return opt_; }
+
+    /** Number of scenarios the full (unsharded) expansion yields. */
+    std::size_t jobCount() const;
+
+    /**
+     * The full unsharded expansion, in the deterministic axis order
+     * (last-declared axis fastest). Requires a valid request; an
+     * invalid one yields an empty list.
+     */
+    std::vector<runner::SweepJob> expand() const;
+
+  private:
+    void invalidate();
+    void fail(const std::string &message);
+
+    cli::Options opt_;
+    runner::SweepSpec spec_;
+    std::string error_;
+
+    // validate() is logically const: it derives state from the
+    // setters' inputs without changing what the request means.
+    mutable bool validated_ = false;
+    mutable std::string validation_error_;
+    mutable std::vector<std::string> warnings_;
+};
+
+} // namespace engine
+} // namespace canon
+
+#endif // CANON_ENGINE_REQUEST_HH

@@ -1,0 +1,62 @@
+#include "engine/result_set.hh"
+
+#include "common/logging.hh"
+
+namespace canon
+{
+namespace engine
+{
+
+Table
+scenarioStatsTable(const cli::Options &opt, const CaseResult &cases)
+{
+    const CanonConfig cfg = opt.fabricConfig();
+
+    Table table("canonsim: " + opt.workloadLabel());
+    std::vector<std::string> header = {"Arch"};
+    for (const auto &col : runner::statsHeader())
+        header.push_back(col);
+    table.header(std::move(header));
+
+    const bool have_canon = cases.count("canon") != 0;
+    const double canon_cycles =
+        have_canon ? static_cast<double>(cases.at("canon").cycles)
+                   : 0.0;
+
+    for (const auto &arch : runner::orderedArchs(opt, cases)) {
+        std::vector<std::string> row = {arch};
+        for (auto &cell : runner::statsCells(cfg, cases.at(arch),
+                                             canon_cycles))
+            row.push_back(std::move(cell));
+        table.addRow(std::move(row));
+    }
+    return table;
+}
+
+std::size_t
+ResultSet::failureCount() const
+{
+    std::size_t n = 0;
+    for (const auto &r : results_)
+        if (!r.error.empty())
+            ++n;
+    return n;
+}
+
+Table
+ResultSet::statsTable() const
+{
+    fatalIf(results_.empty(),
+            "ResultSet::statsTable on an empty result set");
+    const runner::ScenarioResult &r = results_.front();
+    return scenarioStatsTable(r.job.options, r.cases);
+}
+
+Table
+ResultSet::sweepTable() const
+{
+    return runner::sweepTable(results_);
+}
+
+} // namespace engine
+} // namespace canon

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The result half of the canon::engine façade: everything one Engine
+ * submission produced, plus the renderers that turn it into the
+ * stats tables and CSVs every entry point prints.
+ *
+ * A ResultSet is a value: it owns its scenario outcomes outright and
+ * never re-runs anything, so it can be returned across threads,
+ * rendered repeatedly, or picked apart by an embedder (scenarios(),
+ * profiles per architecture). The two render paths reproduce the
+ * canonsim report formats byte for byte -- statsTable() is the
+ * classic single-scenario per-architecture table, sweepTable() the
+ * combined one-row-per-scenario-x-architecture sweep table -- which
+ * is what keeps the CLI's output stable now that it routes through
+ * the engine.
+ *
+ * Status taxonomy:
+ *  - Ok: the request ran (individual scenarios may still have
+ *    failed; see failureCount() and each scenario's error field).
+ *  - InvalidRequest: the request never ran -- malformed option,
+ *    malformed or irrelevant sweep axis. CLI exit code 2.
+ *  - Failed: the engine could not execute it (cache directory could
+ *    not be created). CLI exit code 1.
+ */
+
+#ifndef CANON_ENGINE_RESULT_SET_HH
+#define CANON_ENGINE_RESULT_SET_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "runner/aggregate.hh"
+#include "runner/pool.hh"
+#include "runner/shard.hh"
+
+namespace canon
+{
+namespace engine
+{
+
+/**
+ * The per-architecture stats table for one scenario (the classic
+ * canonsim single-run report): one row per requested architecture
+ * that could run the workload, cycles through speedup-vs-canon.
+ */
+Table scenarioStatsTable(const cli::Options &opt,
+                         const CaseResult &cases);
+
+class ResultSet
+{
+  public:
+    enum class Status
+    {
+        Ok,             //!< executed; scenarios hold their outcomes
+        InvalidRequest, //!< rejected by request validation
+        Failed,         //!< engine failure before any scenario ran
+    };
+
+    Status status() const { return status_; }
+    bool ok() const { return status_ == Status::Ok; }
+
+    /** Why the submission was rejected; empty when ok(). */
+    const std::string &error() const { return error_; }
+
+    /** Ignored-option notes from request validation. */
+    const std::vector<std::string> &warnings() const
+    {
+        return warnings_;
+    }
+
+    /** Outcomes of this process's slice, in expansion order. */
+    const std::vector<runner::ScenarioResult> &scenarios() const
+    {
+        return results_;
+    }
+    std::size_t size() const { return results_.size(); }
+
+    /** Scenario count of the full, unsharded expansion. */
+    std::size_t totalJobs() const { return total_jobs_; }
+
+    /** The slice this set covers (whole() when unsharded). */
+    const runner::Shard &shard() const { return shard_; }
+
+    /**
+     * True for the degenerate single-scenario submission (no sweep
+     * axes, whole shard) -- the case canonsim renders with the
+     * classic per-architecture report instead of the sweep table.
+     */
+    bool single() const { return single_; }
+
+    /** Scenarios that produced no profiles (or threw). */
+    std::size_t failureCount() const;
+
+    /** Single-scenario per-architecture table (requires size() 1). */
+    Table statsTable() const;
+
+    /** Combined sweep table: a row per scenario x architecture. */
+    Table sweepTable() const;
+
+    /**
+     * The cache report line ("cache: H hits, ...") snapshot taken
+     * when the run finished; empty for an uncached engine.
+     */
+    const std::string &cacheStatsLine() const
+    {
+        return cache_stats_line_;
+    }
+
+  private:
+    friend class Engine;
+
+    Status status_ = Status::Ok;
+    std::string error_;
+    std::vector<std::string> warnings_;
+    std::vector<runner::ScenarioResult> results_;
+    std::size_t total_jobs_ = 0;
+    runner::Shard shard_;
+    bool single_ = false;
+    std::string cache_stats_line_;
+};
+
+} // namespace engine
+} // namespace canon
+
+#endif // CANON_ENGINE_RESULT_SET_HH

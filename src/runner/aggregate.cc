@@ -71,7 +71,7 @@ SweepResult::failureCount() const
 }
 
 Table
-SweepResult::table() const
+sweepTable(const std::vector<ScenarioResult> &results)
 {
     Table t("canonsim sweep");
     std::vector<std::string> header = {"Scenario", "Point", "Arch"};
@@ -79,7 +79,7 @@ SweepResult::table() const
         header.push_back(col);
     t.header(std::move(header));
 
-    for (const auto &r : results_) {
+    for (const auto &r : results) {
         const std::string scenario = r.job.options.workloadLabel();
         const std::string point =
             r.job.point.empty() ? "-" : r.job.point;
@@ -108,6 +108,12 @@ SweepResult::table() const
         }
     }
     return t;
+}
+
+Table
+SweepResult::table() const
+{
+    return sweepTable(results_);
 }
 
 } // namespace runner

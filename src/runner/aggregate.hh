@@ -52,6 +52,13 @@ const std::vector<std::string> &statsHeader();
 std::vector<std::string> orderedArchs(const cli::Options &opt,
                                       const CaseResult &cases);
 
+/**
+ * The combined sweep table (a row per scenario x architecture, in
+ * job order) rendered straight from a result list -- the copy-free
+ * path behind SweepResult::table() and engine::ResultSet.
+ */
+Table sweepTable(const std::vector<ScenarioResult> &results);
+
 class SweepResult
 {
   public:

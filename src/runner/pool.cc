@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <thread>
 
 #include "cache/key.hh"
@@ -52,11 +53,38 @@ std::vector<ScenarioResult>
 ScenarioPool::run(
     const std::vector<SweepJob> &jobs,
     const std::function<CaseResult(const cli::Options &)> &fn,
-    const cache::ResultStore *store) const
+    const cache::ResultStore *store,
+    const std::function<void(const ScenarioResult &)> &onResult) const
 {
     std::vector<ScenarioResult> results(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i)
         results[i].job = jobs[i];
+
+    // Ordered streaming state: finished jobs are held back until
+    // every lower-indexed job has finished, then released in one
+    // in-order burst under the lock. A callback that throws must not
+    // escape a worker thread (std::terminate); the first exception
+    // is latched, delivery stops, and it rethrows on the caller's
+    // thread after the pool has joined.
+    std::mutex emit_mutex;
+    std::vector<char> finished(jobs.size(), 0);
+    std::size_t next_emit = 0;
+    std::exception_ptr emit_error;
+    auto emitReady = [&](std::size_t i) {
+        if (!onResult)
+            return;
+        std::lock_guard<std::mutex> lock(emit_mutex);
+        finished[i] = 1;
+        while (!emit_error && next_emit < results.size() &&
+               finished[next_emit]) {
+            try {
+                onResult(results[next_emit]);
+            } catch (...) {
+                emit_error = std::current_exception();
+            }
+            ++next_emit;
+        }
+    };
 
     forEach(jobs.size(), [&](std::size_t i) {
         ScenarioResult &r = results[i];
@@ -72,6 +100,7 @@ ScenarioPool::run(
                 if (cache::decodeCaseResult(*payload, r.cases) &&
                     !r.cases.empty()) {
                     store->recordHit();
+                    emitReady(i);
                     return;
                 }
                 r.cases.clear();
@@ -94,7 +123,10 @@ ScenarioPool::run(
         // should re-run (and re-report) next time.
         if (store && store->writesEnabled() && r.error.empty())
             store->store(key, cache::encodeCaseResult(r.cases));
+        emitReady(i);
     });
+    if (emit_error)
+        std::rethrow_exception(emit_error);
     return results;
 }
 

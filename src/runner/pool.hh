@@ -132,11 +132,24 @@ class ScenarioPool
      * becomes the result without simulating, anything else runs and
      * -- when writes are enabled and the scenario succeeded -- is
      * stored.
+     *
+     * With a non-null @p onResult, every finished result is
+     * additionally streamed in job-index order: the callback fires
+     * for job i as soon as jobs 0..i have all completed (so delivery
+     * order is deterministic even though execution is not). Calls
+     * are serialized under an internal lock but run on worker
+     * threads concurrently with later jobs -- the callback must not
+     * block for long and must not re-enter the pool. If the callback
+     * throws, delivery stops, every job still runs to completion,
+     * and the first exception rethrows on the caller's thread after
+     * the workers have joined (it never escapes a worker thread).
      */
     std::vector<ScenarioResult>
     run(const std::vector<SweepJob> &jobs,
         const std::function<CaseResult(const cli::Options &)> &fn,
-        const cache::ResultStore *store = nullptr) const;
+        const cache::ResultStore *store = nullptr,
+        const std::function<void(const ScenarioResult &)> &onResult =
+            {}) const;
 
     /**
      * Cache-aware map over opaque payload strings: for every index,

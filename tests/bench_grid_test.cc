@@ -147,7 +147,7 @@ TEST(FigureBench, OutputIsByteIdenticalAcrossWorkerCounts)
     const std::string dir = scratchDir("bench_grid_jobs");
     auto run = [&](int jobs) {
         BenchOptions opt;
-        opt.jobs = jobs;
+        opt.common.jobs = jobs;
         std::ostringstream out, err;
         EXPECT_EQ(syntheticBench(dir).run(opt, out, err), 0)
             << err.str();
@@ -170,7 +170,7 @@ TEST(FigureBench, ShardCsvsConcatenateToTheFullCsv)
     EXPECT_EQ(bench.jobCount(), 7u); // 6 grid points + 1 whole table
 
     BenchOptions full;
-    full.jobs = 2;
+    full.common.jobs = 2;
     std::ostringstream out, err;
     ASSERT_EQ(bench.run(full, out, err), 0) << err.str();
     const std::string grid_full = slurp(dir + "grid.csv");
@@ -182,11 +182,11 @@ TEST(FigureBench, ShardCsvsConcatenateToTheFullCsv)
         std::string grid_merged, whole_merged;
         for (int i = 0; i < n; ++i) {
             BenchOptions opt;
-            opt.jobs = 2;
-            opt.shard = runner::Shard{i, n};
+            opt.common.jobs = 2;
+            opt.common.shard = runner::Shard{i, n};
             std::ostringstream sout, serr;
             ASSERT_EQ(bench.run(opt, sout, serr), 0) << serr.str();
-            EXPECT_NE(sout.str().find("(shard " + opt.shard.label() +
+            EXPECT_NE(sout.str().find("(shard " + opt.common.shard.label() +
                                       ")"),
                       std::string::npos);
             grid_merged += slurp(dir + "grid.csv");
@@ -223,8 +223,8 @@ TEST(FigureBench, WarmCacheRerunExecutesZeroJobs)
     const FigureBench bench = countingBench(dir, &emits);
 
     BenchOptions opt;
-    opt.jobs = 2;
-    opt.cacheDir = dir + "cache";
+    opt.common.jobs = 2;
+    opt.common.cacheDir = dir + "cache";
 
     std::ostringstream cold_out, cold_err;
     ASSERT_EQ(bench.run(opt, cold_out, cold_err), 0)
@@ -252,7 +252,7 @@ TEST(FigureBench, WarmCacheRerunExecutesZeroJobs)
 
     // --cache off ignores the warm directory entirely.
     BenchOptions off = opt;
-    off.cacheMode = cache::Mode::Off;
+    off.common.cacheMode = cache::Mode::Off;
     std::ostringstream off_out, off_err;
     ASSERT_EQ(bench.run(off, off_out, off_err), 0) << off_err.str();
     EXPECT_EQ(emits.load(), 6);
@@ -267,15 +267,15 @@ TEST(FigureBench, ShardsResumeFromASharedCacheDir)
 
     // Shard 0 fills its slice; the full run only emits the rest.
     BenchOptions s0;
-    s0.cacheDir = dir + "cache";
-    s0.shard = runner::Shard{0, 2};
+    s0.common.cacheDir = dir + "cache";
+    s0.common.shard = runner::Shard{0, 2};
     std::ostringstream out0, err0;
     ASSERT_EQ(bench.run(s0, out0, err0), 0) << err0.str();
     const int shard0_emits = emits.load();
     EXPECT_GT(shard0_emits, 0);
 
     BenchOptions full;
-    full.cacheDir = dir + "cache";
+    full.common.cacheDir = dir + "cache";
     std::ostringstream out1, err1;
     ASSERT_EQ(bench.run(full, out1, err1), 0) << err1.str();
     EXPECT_EQ(emits.load(), 3); // shard jobs were not re-emitted
@@ -301,7 +301,7 @@ TEST(FigureBench, JobFailureIsReportedNotSwallowed)
     bench.add(std::move(t));
 
     BenchOptions opt;
-    opt.jobs = 2;
+    opt.common.jobs = 2;
     std::ostringstream out, err;
     EXPECT_EQ(bench.run(opt, out, err), 1);
     EXPECT_NE(err.str().find("grid point exploded"),
@@ -316,24 +316,24 @@ TEST(BenchArgs, ParsesJobsShardAndHelp)
     BenchOptions opt;
     EXPECT_EQ(parseBenchArgs({"--jobs", "4", "--shard", "1/2"}, opt),
               "");
-    EXPECT_EQ(opt.jobs, 4);
-    EXPECT_EQ(opt.shard.index, 1);
-    EXPECT_EQ(opt.shard.count, 2);
+    EXPECT_EQ(opt.common.jobs, 4);
+    EXPECT_EQ(opt.common.shard.index, 1);
+    EXPECT_EQ(opt.common.shard.count, 2);
     EXPECT_FALSE(opt.showHelp);
-    EXPECT_TRUE(opt.cacheDir.empty());
+    EXPECT_TRUE(opt.common.cacheDir.empty());
 
     BenchOptions cached;
     EXPECT_EQ(parseBenchArgs({"--cache-dir", "/tmp/c", "--cache",
                               "refresh"},
                              cached),
               "");
-    EXPECT_EQ(cached.cacheDir, "/tmp/c");
-    EXPECT_EQ(cached.cacheMode, cache::Mode::Refresh);
+    EXPECT_EQ(cached.common.cacheDir, "/tmp/c");
+    EXPECT_EQ(cached.common.cacheMode, cache::Mode::Refresh);
 
     BenchOptions eq;
     EXPECT_EQ(parseBenchArgs({"--jobs=8", "--shard=0/4"}, eq), "");
-    EXPECT_EQ(eq.jobs, 8);
-    EXPECT_EQ(eq.shard.count, 4);
+    EXPECT_EQ(eq.common.jobs, 8);
+    EXPECT_EQ(eq.common.shard.count, 4);
 
     BenchOptions help;
     EXPECT_EQ(parseBenchArgs({"--help"}, help), "");
@@ -341,8 +341,8 @@ TEST(BenchArgs, ParsesJobsShardAndHelp)
 
     BenchOptions none;
     EXPECT_EQ(parseBenchArgs({}, none), "");
-    EXPECT_EQ(none.jobs, 0); // 0 = the binary's default
-    EXPECT_TRUE(none.shard.whole());
+    EXPECT_EQ(none.common.jobs, 0); // 0 = the binary's default
+    EXPECT_TRUE(none.common.shard.whole());
 }
 
 TEST(BenchArgs, RejectsMalformedInput)
@@ -392,19 +392,19 @@ TEST(FigureBench, ConvertedFigure16IsDeterministicAcrossJobsAndShards)
     };
 
     BenchOptions serial;
-    serial.jobs = 1;
+    serial.common.jobs = 1;
     const std::string baseline = run(serial);
     EXPECT_NE(baseline.find("Sparsity,AI(ops/B)"), std::string::npos);
 
     BenchOptions threaded;
-    threaded.jobs = 4;
+    threaded.common.jobs = 4;
     EXPECT_EQ(run(threaded), baseline);
 
     std::string merged;
     for (int i = 0; i < 2; ++i) {
         BenchOptions opt;
-        opt.jobs = 2;
-        opt.shard = runner::Shard{i, 2};
+        opt.common.jobs = 2;
+        opt.common.shard = runner::Shard{i, 2};
         merged += run(opt);
     }
     EXPECT_EQ(merged, baseline);

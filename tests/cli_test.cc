@@ -156,7 +156,7 @@ TEST(CliOptions, ParsesSweepAxesAndJobs)
     EXPECT_EQ(res.options.sweepAxes[0].second, "0.5,0.7,0.9");
     EXPECT_EQ(res.options.sweepAxes[1].first, "rows");
     EXPECT_EQ(res.options.sweepAxes[1].second, "4,8");
-    EXPECT_EQ(res.options.jobs, 4);
+    EXPECT_EQ(res.options.common.jobs, 4);
 }
 
 TEST(CliOptions, RejectsMalformedSweepAndJobs)
@@ -173,19 +173,19 @@ TEST(CliOptions, ParsesShardFlag)
 {
     auto res = parse({"--shard", "1/4"});
     ASSERT_TRUE(res.ok) << res.error;
-    EXPECT_EQ(res.options.shard.index, 1);
-    EXPECT_EQ(res.options.shard.count, 4);
-    EXPECT_FALSE(res.options.shard.whole());
+    EXPECT_EQ(res.options.common.shard.index, 1);
+    EXPECT_EQ(res.options.common.shard.count, 4);
+    EXPECT_FALSE(res.options.common.shard.whole());
 
     // Default: the whole job list.
     auto plain = parse({});
     ASSERT_TRUE(plain.ok);
-    EXPECT_TRUE(plain.options.shard.whole());
+    EXPECT_TRUE(plain.options.common.shard.whole());
 
     // The '=' spelling works like every other flag.
     auto eq = parse({"--shard=0/2"});
     ASSERT_TRUE(eq.ok) << eq.error;
-    EXPECT_EQ(eq.options.shard.count, 2);
+    EXPECT_EQ(eq.options.common.shard.count, 2);
 }
 
 TEST(CliOptions, RejectsMalformedShard)
@@ -212,18 +212,18 @@ TEST(CliOptions, ParsesCacheFlags)
 {
     auto res = parse({"--cache-dir", "/tmp/cache"});
     ASSERT_TRUE(res.ok) << res.error;
-    EXPECT_EQ(res.options.cacheDir, "/tmp/cache");
-    EXPECT_EQ(res.options.cacheMode, cache::Mode::ReadWrite);
+    EXPECT_EQ(res.options.common.cacheDir, "/tmp/cache");
+    EXPECT_EQ(res.options.common.cacheMode, cache::Mode::ReadWrite);
 
     auto refresh =
         parse({"--cache-dir=/tmp/cache", "--cache=refresh"});
     ASSERT_TRUE(refresh.ok) << refresh.error;
-    EXPECT_EQ(refresh.options.cacheMode, cache::Mode::Refresh);
+    EXPECT_EQ(refresh.options.common.cacheMode, cache::Mode::Refresh);
 
     // Plain runs keep caching off entirely.
     auto plain = parse({});
     ASSERT_TRUE(plain.ok);
-    EXPECT_TRUE(plain.options.cacheDir.empty());
+    EXPECT_TRUE(plain.options.common.cacheDir.empty());
 }
 
 TEST(CliOptions, RejectsBadCacheFlags)
