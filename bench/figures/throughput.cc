@@ -73,6 +73,25 @@ canonSpmmThroughput(double sparsity)
 }
 
 Measurement
+canonSpmm16x16Throughput()
+{
+    // The scaling case: 4x the components of the paper fabric, the
+    // shape the tick-schedule work is sized against.
+    CanonConfig cfg;
+    cfg.rows = 16;
+    cfg.cols = 16;
+    Rng rng(1);
+    const auto a = randomSparse(256, 256, 0.5, rng);
+    const auto b = randomDense(256, cfg.cols * kSimdWidth, rng);
+    const auto mapping = mapSpmm(CsrMatrix::fromDense(a), b, cfg);
+    return timeLoop(4, "sim-cycles/s", [&]() {
+        CanonFabric fabric(cfg);
+        fabric.load(mapping);
+        return static_cast<double>(fabric.run());
+    });
+}
+
+Measurement
 systolicThroughput(int n)
 {
     Rng rng(2);
@@ -122,12 +141,16 @@ simThroughputBench()
 
     FigureTable t;
     t.title = "Simulator throughput microbenchmarks";
-    t.header = {"Benchmark", "Iters", "Wall(ms)", "Rate", "Unit"};
+    // Work/Iter is the deterministic column: simulated cycles (or
+    // completed units) per iteration. CI compares it exactly while
+    // the wall-clock Rate column only gates large regressions.
+    t.header = {"Benchmark", "Iters", "Work/Iter",
+                "Wall(ms)",  "Rate",  "Unit"};
     t.csvName = "sim_throughput.csv";
     t.grid.axis("case",
                 {"canon-spmm-s10", "canon-spmm-s50", "canon-spmm-s90",
-                 "systolic-16", "systolic-32", "lut-compile",
-                 "cgra-mapper"});
+                 "canon-spmm-16x16", "systolic-16", "systolic-32",
+                 "lut-compile", "cgra-mapper"});
     t.emit = [](const FigurePoint &p) -> FigureRows {
         Measurement m;
         switch (p.digits[0]) {
@@ -141,12 +164,15 @@ simThroughputBench()
             m = canonSpmmThroughput(0.90);
             break;
           case 3:
-            m = systolicThroughput(16);
+            m = canonSpmm16x16Throughput();
             break;
           case 4:
-            m = systolicThroughput(32);
+            m = systolicThroughput(16);
             break;
           case 5:
+            m = systolicThroughput(32);
+            break;
+          case 6:
             m = lutCompileThroughput();
             break;
           default:
@@ -155,7 +181,11 @@ simThroughputBench()
         }
         const double rate =
             m.seconds > 0.0 ? m.work / m.seconds : 0.0;
+        const double work_per_iter =
+            m.iterations > 0 ? m.work / m.iterations : 0.0;
         return {{p.value("case"), std::to_string(m.iterations),
+                 Table::fmtInt(
+                     static_cast<std::uint64_t>(work_per_iter)),
                  Table::fmt(m.seconds * 1e3, 2),
                  Table::fmtInt(static_cast<std::uint64_t>(rate)),
                  m.unit}};

@@ -48,8 +48,12 @@ namespace cache
  * Simulator-semantics version of every cache entry. Bump on any
  * change that alters what a scenario computes (not on store-format
  * changes; those bump the magic line in store.cc).
+ *
+ * v2: canon profiles grew the scratchpad occupancy probe counters
+ * (tagCompares, spadResidentSum, spadCapCycles); entries cached at
+ * v1 would replay without them.
  */
-inline constexpr int kSchemaVersion = 1;
+inline constexpr int kSchemaVersion = 2;
 
 struct ScenarioKey
 {

@@ -419,6 +419,10 @@ usageText()
         "\n"
         "Output:\n"
         "  --csv PATH        also write the stats table as CSV\n"
+        "  --probe-spad      add scratchpad occupancy columns to the\n"
+        "                    stats table: mean resident psum rows,\n"
+        "                    % cycles at the resident cap, and tag\n"
+        "                    compares per buffer probe (canon only)\n"
         "  --dry-run         print the expanded scenario list with\n"
         "                    cache keys and hit/miss forecasts, then\n"
         "                    exit without simulating\n"
@@ -475,6 +479,10 @@ parseArgs(const std::vector<std::string> &args)
         }
         if (key == "--dry-run") {
             opt.dryRun = true;
+            continue;
+        }
+        if (key == "--probe-spad") {
+            opt.probeSpad = true;
             continue;
         }
 

@@ -96,6 +96,14 @@ struct Options
     bool listWorkloads = false;
     bool dryRun = false; //!< plan + cache forecast, no simulation
 
+    /**
+     * Render scratchpad occupancy probe columns (resident-row
+     * pressure, resident-cap cycles, tag compares per probe) in the
+     * stats tables. Render-only, like --csv: it changes which columns
+     * a table shows, never what is simulated or cached.
+     */
+    bool probeSpad = false;
+
     CanonConfig fabricConfig() const;
 
     /** "spmm 256x256x64 s=0.70" style label for tables/profiles. */

@@ -22,9 +22,11 @@ namespace canon
 {
 
 /** Drains any channel bound to it, one element per channel per cycle. */
-class EdgeSink : public Clocked
+class EdgeSink final : public Clocked
 {
   public:
+    static constexpr bool kHasTickCommit = false;
+
     void add(DataChannel *ch) { chans_.push_back(ch); }
 
     void
@@ -51,9 +53,11 @@ class EdgeSink : public Clocked
  * Listing 3: several psums for the same output row may arrive when
  * upstream rows bypassed each other under load imbalance.
  */
-class SouthCollector : public Clocked
+class SouthCollector final : public Clocked
 {
   public:
+    static constexpr bool kHasTickCommit = false;
+
     SouthCollector(MsgChannel *msgs, std::vector<DataChannel *> chans,
                    WordMatrix *out);
 
@@ -74,9 +78,11 @@ class SouthCollector : public Clocked
  * {a = output row m, b = local output column}; the edge logic reduces
  * the 4 psum lanes to the scalar C[m][rowBase + b].
  */
-class EastCollector : public Clocked
+class EastCollector final : public Clocked
 {
   public:
+    static constexpr bool kHasTickCommit = false;
+
     EastCollector(WordMatrix *out, int cols_per_row);
 
     /** Attach PE row @p row: its east channel and bookkeeping queue. */
@@ -109,9 +115,11 @@ class EastCollector : public Clocked
  * orchestrator -- so the message window provides flow control for the
  * whole top edge: when the top row falls behind, the feeder pauses.
  */
-class NorthFeeder : public Clocked
+class NorthFeeder final : public Clocked
 {
   public:
+    static constexpr bool kHasTickCommit = false;
+
     NorthFeeder(std::vector<DataChannel *> chans, MsgChannel *announce)
         : chans_(std::move(chans)), announce_(announce)
     {
@@ -138,9 +146,11 @@ class NorthFeeder : public Clocked
 };
 
 /** Drains a message channel nobody else consumes (bottom-edge AVec). */
-class MsgSink : public Clocked
+class MsgSink final : public Clocked
 {
   public:
+    static constexpr bool kHasTickCommit = false;
+
     explicit MsgSink(MsgChannel *ch) : ch_(ch) {}
 
     void

@@ -1,10 +1,13 @@
 #include "core/fabric.hh"
 
+#include "common/rng.hh"
+
 namespace canon
 {
 
-CanonFabric::CanonFabric(const CanonConfig &cfg)
-    : cfg_(cfg), stats_("fabric")
+CanonFabric::CanonFabric(const CanonConfig &cfg,
+                         std::uint64_t reg_shuffle_seed)
+    : cfg_(cfg), stats_("fabric"), shuffleSeed_(reg_shuffle_seed)
 {
     fatalIf(cfg_.rows <= 0 || cfg_.cols <= 0,
             "CanonFabric: non-positive array shape");
@@ -75,24 +78,41 @@ CanonFabric::CanonFabric(const CanonConfig &cfg)
             pes_[peIndex(r, c)]->bindPipeline(pipes_.back().get());
     }
 
+    // Data channels publish through one batched commit pass instead of
+    // ticking individually.
     for (auto &row : vert_)
         for (auto &ch : row)
-            channelTicker_.add(ch.get());
+            dataCommits_.add(ch.get());
     for (auto &row : horiz_)
         for (auto &ch : row)
-            channelTicker_.add(ch.get());
+            dataCommits_.add(ch.get());
 
-    // Register everything with the simulator. Order is irrelevant for
-    // results (two-phase ticks) -- keep construction order.
+    // Register everything into its typed partition. Order is
+    // irrelevant for results (two-phase ticks); a nonzero shuffle seed
+    // permutes it to prove that.
+    std::vector<std::function<void()>> regs;
     for (auto &o : orchs_)
-        sim_.add(o.get());
+        regs.push_back([this, c = o.get()] { sim_.addTyped(c); });
     for (auto &p : pes_)
-        sim_.add(p.get());
+        regs.push_back([this, c = p.get()] { sim_.addTyped(c); });
     for (auto &pl : pipes_)
-        sim_.add(pl.get());
+        regs.push_back([this, c = pl.get()] { sim_.addTyped(c); });
     for (auto &m : msg_)
-        sim_.add(m.get());
-    sim_.add(&channelTicker_);
+        regs.push_back([this, c = m.get()] { sim_.addTyped(c); });
+    regs.push_back([this] { sim_.addTyped(&dataCommits_); });
+    registerAll(std::move(regs), 0);
+}
+
+void
+CanonFabric::registerAll(std::vector<std::function<void()>> regs,
+                         std::uint64_t salt)
+{
+    if (shuffleSeed_ != 0) {
+        Rng rng(shuffleSeed_ + salt);
+        rng.shuffle(regs);
+    }
+    for (auto &r : regs)
+        r();
 }
 
 Pe &
@@ -145,6 +165,7 @@ CanonFabric::load(KernelMapping mapping)
     }
 
     // Edge movers and collectors.
+    std::vector<std::function<void()>> regs;
     sink_ = std::make_unique<EdgeSink>();
     if (mapping_.collector == CollectorKind::South) {
         std::vector<DataChannel *> bottom;
@@ -152,7 +173,7 @@ CanonFabric::load(KernelMapping mapping)
             bottom.push_back(vert_[cfg_.rows][c].get());
         southCollector_ = std::make_unique<SouthCollector>(
             msg_[cfg_.rows].get(), std::move(bottom), &out_);
-        sim_.add(southCollector_.get());
+        regs.push_back([this] { sim_.addTyped(southCollector_.get()); });
         // East edge only carries forwarded operands: discard.
         for (int r = 0; r < cfg_.rows; ++r)
             sink_->add(horiz_[r][cfg_.cols].get());
@@ -162,15 +183,15 @@ CanonFabric::load(KernelMapping mapping)
         for (int r = 0; r < cfg_.rows; ++r)
             eastCollector_->addRow(r, horiz_[r][cfg_.cols].get(),
                                    &outRecs_[r]);
-        sim_.add(eastCollector_.get());
+        regs.push_back([this] { sim_.addTyped(eastCollector_.get()); });
         // South edge carries pass-through streams: discard, and drain
         // the bottom message channel.
         for (int c = 0; c < cfg_.cols; ++c)
             sink_->add(vert_[cfg_.rows][c].get());
         msgSink_ = std::make_unique<MsgSink>(msg_[cfg_.rows].get());
-        sim_.add(msgSink_.get());
+        regs.push_back([this] { sim_.addTyped(msgSink_.get()); });
     }
-    sim_.add(sink_.get());
+    regs.push_back([this] { sim_.addTyped(sink_.get()); });
 
     if (!mapping_.northFeed.empty()) {
         std::vector<DataChannel *> top;
@@ -179,8 +200,9 @@ CanonFabric::load(KernelMapping mapping)
         feeder_ = std::make_unique<NorthFeeder>(std::move(top),
                                                 msg_[0].get());
         feeder_->setFeed(mapping_.northFeed);
-        sim_.add(feeder_.get());
+        regs.push_back([this] { sim_.addTyped(feeder_.get()); });
     }
+    registerAll(std::move(regs), 1);
 }
 
 bool
@@ -324,6 +346,9 @@ CanonFabric::profile(const std::string &workload) const
     p.add("regWrites", stats_.sumCounter("regWrites"));
     p.add("lutLookups", stats_.sumCounter("lutLookups"));
     p.add("bufferSearches", stats_.sumCounter("bufferSearches"));
+    p.add("tagCompares", stats_.sumCounter("tagCompares"));
+    p.add("spadResidentSum", stats_.sumCounter("spadResidentSum"));
+    p.add("spadCapCycles", stats_.sumCounter("spadCapCycles"));
     p.add("stateTransitions", stats_.sumCounter("stateTransitions"));
     p.add("orchCycles",
           static_cast<std::uint64_t>(cfg_.rows) * sim_.now());

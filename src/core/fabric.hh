@@ -20,7 +20,9 @@
 #ifndef CANON_CORE_FABRIC_HH
 #define CANON_CORE_FABRIC_HH
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/collectors.hh"
@@ -29,6 +31,7 @@
 #include "orch/orchestrator.hh"
 #include "pe/pe.hh"
 #include "power/profile.hh"
+#include "sim/schedule.hh"
 
 namespace canon
 {
@@ -36,7 +39,15 @@ namespace canon
 class CanonFabric
 {
   public:
-    explicit CanonFabric(const CanonConfig &cfg);
+    /**
+     * @p reg_shuffle_seed permutes the order components are registered
+     * with the simulator (0 = construction order). Results are
+     * independent of registration order -- the determinism tests
+     * construct fabrics under several seeds and require byte-identical
+     * outputs.
+     */
+    explicit CanonFabric(const CanonConfig &cfg,
+                         std::uint64_t reg_shuffle_seed = 0);
 
     const CanonConfig &config() const { return cfg_; }
 
@@ -90,26 +101,12 @@ class CanonFabric
     ExecutionProfile profile(const std::string &workload) const;
 
   private:
-    /** Commits every data channel at the cycle boundary. */
-    class ChannelTicker : public Clocked
-    {
-      public:
-        void add(DataChannel *ch) { chans_.push_back(ch); }
-        void tickCompute() override {}
-
-        void
-        tickCommit() override
-        {
-            for (auto *ch : chans_)
-                ch->commit();
-        }
-
-      private:
-        std::vector<DataChannel *> chans_;
-    };
-
     int peIndex(int r, int c) const { return r * cfg_.cols + c; }
     bool channelsDrained() const;
+
+    /** Run registration thunks, permuted when shuffleSeed_ != 0. */
+    void registerAll(std::vector<std::function<void()>> regs,
+                     std::uint64_t salt);
 
     CanonConfig cfg_;
     Simulator sim_;
@@ -139,8 +136,11 @@ class CanonFabric
     std::unique_ptr<EastCollector> eastCollector_;
     std::unique_ptr<EdgeSink> sink_;
     std::unique_ptr<MsgSink> msgSink_;
-    ChannelTicker channelTicker_;
 
+    /** Batched commit pass over every data channel (schedule.hh). */
+    FifoCommitList<Vec4> dataCommits_;
+
+    std::uint64_t shuffleSeed_ = 0;
     bool loaded_ = false;
     bool spatial_ = false;
 };

@@ -14,7 +14,7 @@ scenarioStatsTable(const cli::Options &opt, const CaseResult &cases)
 
     Table table("canonsim: " + opt.workloadLabel());
     std::vector<std::string> header = {"Arch"};
-    for (const auto &col : runner::statsHeader())
+    for (const auto &col : runner::statsHeader(opt.probeSpad))
         header.push_back(col);
     table.header(std::move(header));
 
@@ -26,7 +26,8 @@ scenarioStatsTable(const cli::Options &opt, const CaseResult &cases)
     for (const auto &arch : runner::orderedArchs(opt, cases)) {
         std::vector<std::string> row = {arch};
         for (auto &cell : runner::statsCells(cfg, cases.at(arch),
-                                             canon_cycles))
+                                             canon_cycles,
+                                             opt.probeSpad))
             row.push_back(std::move(cell));
         table.addRow(std::move(row));
     }

@@ -8,8 +8,8 @@ namespace canon
 InstPipeline::InstPipeline(int columns)
     : columns_(columns),
       stages_(static_cast<std::size_t>(kIssueStagger) * (columns - 1) + 1,
-              nopInst().encode()),
-      staged_(nopInst().encode())
+              nopInst()),
+      staged_(nopInst())
 {
     panicIf(columns <= 0, "InstPipeline: need at least one column");
 }
@@ -19,25 +19,26 @@ InstPipeline::issue(const Instruction &inst)
 {
     panicIf(issuedThisCycle_,
             "InstPipeline: orchestrator issued twice in one cycle");
-    staged_ = inst.encode();
+    staged_ = inst;
     issuedThisCycle_ = true;
 }
 
-Instruction
+const Instruction &
 InstPipeline::tap(int c) const
 {
     panicIf(c < 0 || c >= columns_, "InstPipeline: tap ", c, " out of ",
             columns_);
-    return Instruction::decode(
-        stages_[static_cast<std::size_t>(kIssueStagger) * c]);
+    return stages_[static_cast<std::size_t>(kIssueStagger) * c];
 }
 
 bool
 InstPipeline::drained() const
 {
-    const auto nop = nopInst().encode();
-    for (auto w : stages_)
-        if (w != nop)
+    // Word-for-word NOP: an instruction with op == Nop but live
+    // address or route fields is still in flight.
+    const Instruction nop = nopInst();
+    for (const auto &inst : stages_)
+        if (!(inst == nop))
             return false;
     return true;
 }
@@ -48,10 +49,10 @@ InstPipeline::tickCommit()
     if (!frozen_) {
         for (std::size_t i = stages_.size() - 1; i > 0; --i)
             stages_[i] = stages_[i - 1];
-        stages_[0] = issuedThisCycle_ ? staged_ : nopInst().encode();
+        stages_[0] = issuedThisCycle_ ? staged_ : nopInst();
     }
     issuedThisCycle_ = false;
-    staged_ = nopInst().encode();
+    staged_ = nopInst();
 }
 
 } // namespace canon

@@ -31,16 +31,19 @@ namespace canon
 /** Cycles between consecutive PEs seeing the same instruction. */
 constexpr int kIssueStagger = 3;
 
-class InstPipeline : public Clocked
+class InstPipeline final : public Clocked
 {
   public:
+    /** Issues stage externally; all work happens at commit. */
+    static constexpr bool kHasTickCompute = false;
+
     explicit InstPipeline(int columns);
 
     /** Stage the instruction entering the row this cycle. */
     void issue(const Instruction &inst);
 
     /** Instruction visible at PE column @p c this cycle. */
-    Instruction tap(int c) const;
+    const Instruction &tap(int c) const;
 
     /** Stop/resume shifting (spatial mode). */
     void freeze(bool on) { frozen_ = on; }
@@ -55,9 +58,13 @@ class InstPipeline : public Clocked
     void tickCommit() override;
 
   private:
+    // The hardware shifts the encoded 64-bit word (encode/decode
+    // round-trips exactly); the model keeps stages decoded so a tap is
+    // a reference into the shift array instead of a decode per PE per
+    // cycle.
     int columns_;
-    std::vector<std::uint64_t> stages_;
-    std::uint64_t staged_;
+    std::vector<Instruction> stages_;
+    Instruction staged_;
     bool issuedThisCycle_ = false;
     bool frozen_ = false;
 };

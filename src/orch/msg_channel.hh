@@ -58,9 +58,12 @@ struct OrchMsg
  * at the consumer. Push during tickCompute; the message becomes
  * consumable kIssueStagger + 1 cycles later.
  */
-class MsgChannel : public Clocked
+class MsgChannel final : public Clocked
 {
   public:
+    /** Pushes stage externally; the delay line shifts at commit. */
+    static constexpr bool kHasTickCompute = false;
+
     explicit MsgChannel(std::string name = "msg")
         : fifo_(kMsgWindow + kIssueStagger + 1, std::move(name))
     {

@@ -13,7 +13,9 @@ Orchestrator::Orchestrator(std::string name, int spad_capacity,
       stateTransitions_(stats.counter("stateTransitions")),
       msgsSent_(stats.counter("msgsSent")),
       fwdAhead_(stats.counter("fwdAhead")),
-      fwdBehind_(stats.counter("fwdBehind"))
+      fwdBehind_(stats.counter("fwdBehind")),
+      spadResidentSum_(stats.counter("spadResidentSum")),
+      spadCapCycles_(stats.counter("spadCapCycles"))
 {
 }
 
@@ -187,6 +189,12 @@ Orchestrator::tickCompute()
 {
     if (!prog_ || !pipe_)
         return;
+
+    // Per-cycle scratchpad occupancy probes (stall cycles included):
+    // resident-row pressure and cycles pinned at the resident cap.
+    spadResidentSum_ += static_cast<std::uint64_t>(fifo_.size());
+    if (fifo_.atResidentCap())
+        ++spadCapCycles_;
 
     // 1. Latch inputs.
     const MetaToken token = stream_.peek(sim_.now());

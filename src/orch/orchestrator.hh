@@ -49,9 +49,13 @@ struct OutRec
     std::uint16_t b = 0;
 };
 
-class Orchestrator : public Clocked
+class Orchestrator final : public Clocked
 {
   public:
+    /** All orchestrator effects stage through channels/latches that
+     *  commit themselves; the commit phase is dead (schedule.hh). */
+    static constexpr bool kHasTickCommit = false;
+
     Orchestrator(std::string name, int spad_capacity, StatGroup &stats,
                  const Simulator &sim);
 
@@ -120,6 +124,8 @@ class Orchestrator : public Clocked
     Counter &msgsSent_;
     Counter &fwdAhead_;
     Counter &fwdBehind_;
+    Counter &spadResidentSum_; //!< sum of resident rows over cycles
+    Counter &spadCapCycles_;   //!< cycles pinned at the resident cap
 };
 
 } // namespace canon

@@ -42,6 +42,7 @@ class TagFifo
     TagFifo(int capacity, StatGroup &stats)
         : capacity_(capacity),
           searches_(stats.counter("bufferSearches")),
+          compares_(stats.counter("tagCompares")),
           pushes_(stats.counter("bufferPushes"))
     {
         panicIf(capacity <= 0, "TagFifo: capacity must be positive");
@@ -85,6 +86,7 @@ class TagFifo
     {
         ++searches_;
         for (std::size_t i = 0; i < tags_.size(); ++i) {
+            ++compares_;
             if (tags_[i] == tag)
                 return (headSlot_ + static_cast<int>(i)) % capacity_;
         }
@@ -121,7 +123,8 @@ class TagFifo
     std::deque<std::uint16_t> tags_;
     int headSlot_ = 0;
     Counter &searches_; // incrementable from const search(): the
-    Counter &pushes_;   // counters live in the owning StatGroup
+    Counter &compares_; // counters live in the owning StatGroup
+    Counter &pushes_;
 };
 
 } // namespace canon

@@ -30,10 +30,14 @@ Pe::idle() const
 Vec4
 Pe::readPort(Dir d)
 {
+    const auto bit =
+        static_cast<std::uint8_t>(1u << static_cast<int>(d));
     auto &cached = portCache_[static_cast<int>(d)];
-    if (!cached)
+    if (!(portCacheValid_ & bit)) {
         cached = router_.readIn(d);
-    return *cached;
+        portCacheValid_ |= bit;
+    }
+    return cached;
 }
 
 Vec4
@@ -165,10 +169,10 @@ Pe::commitStage(const StageReg &ex)
     // Pass-through circuit routes emit at COMMIT so that a neighbour's
     // staggered LOAD sees the data exactly when its copy of the same
     // instruction arrives.
-    if (ex.routeN2S)
-        router_.writeOut(Dir::South, *ex.routeN2S);
-    if (ex.routeW2E)
-        router_.writeOut(Dir::East, *ex.routeW2E);
+    if (ex.routeN2SValid)
+        router_.writeOut(Dir::South, ex.routeN2S);
+    if (ex.routeW2EValid)
+        router_.writeOut(Dir::East, ex.routeW2E);
 }
 
 Pe::StageReg
@@ -252,10 +256,14 @@ Pe::loadStage(const Instruction &inst, const StageReg &fwd)
     }
 
     // Pass-through routes latch their value at LOAD.
-    if (inst.route & kRouteN2S)
+    if (inst.route & kRouteN2S) {
         ld.routeN2S = readPort(Dir::North);
-    if (inst.route & kRouteW2E)
+        ld.routeN2SValid = true;
+    }
+    if (inst.route & kRouteW2E) {
         ld.routeW2E = readPort(Dir::West);
+        ld.routeW2EValid = true;
+    }
 
     return ld;
 }
@@ -289,8 +297,24 @@ Pe::spatialReady(const Instruction &inst) const
 void
 Pe::tickCompute()
 {
+    // Config mode: taps shift past without executing.
+    Instruction inst = nopInst();
+    if (pipe_ && mode_ != PeMode::Config)
+        inst = pipe_->tap(geo_.col);
+
+    // Idle fast path: an empty pipeline looking at a NOP tap does no
+    // work this cycle. Spatial mode is excluded -- its firing rule
+    // reads channel occupancy that other components change within the
+    // same compute phase, so it must be evaluated in stage order below.
+    if (!ldReg_.valid && !exReg_.valid && mode_ != PeMode::Spatial &&
+        inst.isNop()) {
+        exNext_.valid = false;
+        ldNext_.valid = false;
+        return;
+    }
+
     router_.beginCycle();
-    portCache_.fill(std::nullopt);
+    portCacheValid_ = 0;
     dmemReadsThisCycle_ = dmemWritesThisCycle_ = 0;
     spadReadsThisCycle_ = spadWritesThisCycle_ = 0;
 
@@ -300,22 +324,11 @@ Pe::tickCompute()
     commitStage(exReg_);
     exNext_ = executeStage(ldReg_);
 
-    Instruction inst = nopInst();
-    switch (mode_) {
-      case PeMode::Streaming:
-        if (pipe_)
-            inst = pipe_->tap(geo_.col);
-        break;
-      case PeMode::Spatial:
-        if (pipe_) {
-            inst = pipe_->tap(geo_.col);
-            if (!spatialReady(inst))
-                inst = nopInst();
-        }
-        break;
-      case PeMode::Config:
-        break; // taps shift past without executing
-    }
+    // The spatial firing rule reads port occupancy *after* this PE's
+    // own COMMIT staged its pushes, exactly as the held hardware
+    // pipeline would observe it.
+    if (mode_ == PeMode::Spatial && !spatialReady(inst))
+        inst = nopInst();
     ldNext_ = loadStage(inst, exNext_);
 
     if (ldNext_.valid || exNext_.valid || exReg_.valid)

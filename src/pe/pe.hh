@@ -26,7 +26,6 @@
 #define CANON_PE_PE_HH
 
 #include <array>
-#include <optional>
 #include <string>
 
 #include "common/stats.hh"
@@ -52,7 +51,7 @@ struct PeGeometry
     int col = 0;
 };
 
-class Pe : public Clocked
+class Pe final : public Clocked
 {
   public:
     Pe(const PeGeometry &geo, int dmem_slots, int spad_slots,
@@ -80,7 +79,11 @@ class Pe : public Clocked
     void tickCommit() override;
 
   private:
-    /** Pipeline register between LOAD/EXECUTE and EXECUTE/COMMIT. */
+    /**
+     * Pipeline register between LOAD/EXECUTE and EXECUTE/COMMIT.
+     * Kept trivially copyable (plain Vec4 + valid flags rather than
+     * optionals) so the per-cycle register updates are flat copies.
+     */
     struct StageReg
     {
         Instruction inst = nopInst();
@@ -89,8 +92,10 @@ class Pe : public Clocked
         Vec4 resOld;   //!< prior contents of res (MAC accumulate)
         Vec4 west;     //!< west-in value for VvMacW
         Vec4 resultForwarded; //!< EXECUTE output (forwarding network)
-        std::optional<Vec4> routeN2S;
-        std::optional<Vec4> routeW2E;
+        Vec4 routeN2S;
+        Vec4 routeW2E;
+        bool routeN2SValid = false;
+        bool routeW2EValid = false;
         bool valid = false;
     };
 
@@ -125,8 +130,10 @@ class Pe : public Clocked
     StageReg exNext_;
 
     // Per-cycle port-read cache: one physical pop feeds every consumer
-    // of the same input port in one instruction.
-    std::array<std::optional<Vec4>, kNumDirs> portCache_;
+    // of the same input port in one instruction. Valid bits live in a
+    // bitmask so clearing the cache is a single store.
+    std::array<Vec4, kNumDirs> portCache_{};
+    std::uint8_t portCacheValid_ = 0;
 
     // Per-cycle local-memory port accounting.
     int dmemReadsThisCycle_ = 0;

@@ -27,7 +27,7 @@ orderedArchs(const cli::Options &opt, const CaseResult &cases)
 
 std::vector<std::string>
 statsCells(const CanonConfig &cfg, const ExecutionProfile &profile,
-           double canon_cycles)
+           double canon_cycles, bool probe_spad)
 {
     const EnergyModel energy;
     const EnergyReport rep = energy.evaluate(profile, cfg.clockGhz);
@@ -37,7 +37,7 @@ statsCells(const CanonConfig &cfg, const ExecutionProfile &profile,
         perf = Table::fmt(canon_cycles /
                           static_cast<double>(profile.cycles));
 
-    return {
+    std::vector<std::string> cells = {
         Table::fmtInt(profile.cycles),
         Table::fmt(rep.seconds() * 1e6, 3),
         Table::fmt(100.0 * profile.utilization(cfg.numMacs()), 1),
@@ -47,17 +47,55 @@ statsCells(const CanonConfig &cfg, const ExecutionProfile &profile,
         Table::fmt(rep.watts() * 1e3, 2),
         perf,
     };
+
+    if (probe_spad) {
+        // Scratchpad occupancy probes exist only for profiles that
+        // carry orchestrator counters (canon); baselines render "X".
+        // The occupancy denominator is orchestrator-cycles (rows x
+        // cycles): SpadOcc is mean resident rows per orchestrator.
+        const bool probed =
+            profile.activity.count("spadResidentSum") != 0;
+        const double orch_cycles =
+            static_cast<double>(profile.get("orchCycles"));
+        if (probed && orch_cycles > 0.0) {
+            cells.push_back(Table::fmt(
+                static_cast<double>(
+                    profile.get("spadResidentSum")) / orch_cycles,
+                2));
+            cells.push_back(Table::fmt(
+                100.0 *
+                    static_cast<double>(
+                        profile.get("spadCapCycles")) / orch_cycles,
+                1));
+            const auto probes = profile.get("bufferSearches");
+            cells.push_back(
+                probes == 0
+                    ? "X"
+                    : Table::fmt(static_cast<double>(
+                                     profile.get("tagCompares")) /
+                                     static_cast<double>(probes),
+                                 2));
+        } else {
+            cells.insert(cells.end(), {"X", "X", "X"});
+        }
+    }
+    return cells;
 }
 
 const std::vector<std::string> &
-statsHeader()
+statsHeader(bool probe_spad)
 {
     static const std::vector<std::string> header = {
         "Cycles",      "Time(us)",   "Util%",
         "LaneMACs",    "StateXitions", "Energy(uJ)",
         "Power(mW)",   "Perf/Canon",
     };
-    return header;
+    static const std::vector<std::string> probe_header = [] {
+        std::vector<std::string> h = header;
+        h.insert(h.end(), {"SpadOcc", "SpadCap%", "Cmp/Probe"});
+        return h;
+    }();
+    return probe_spad ? probe_header : header;
 }
 
 std::size_t
@@ -73,9 +111,14 @@ SweepResult::failureCount() const
 Table
 sweepTable(const std::vector<ScenarioResult> &results)
 {
+    // The render-only probe flag is shared by every job of one
+    // invocation; any row's options carry it.
+    const bool probe_spad =
+        !results.empty() && results.front().job.options.probeSpad;
+
     Table t("canonsim sweep");
     std::vector<std::string> header = {"Scenario", "Point", "Arch"};
-    for (const auto &col : statsHeader())
+    for (const auto &col : statsHeader(probe_spad))
         header.push_back(col);
     t.header(std::move(header));
 
@@ -86,7 +129,8 @@ sweepTable(const std::vector<ScenarioResult> &results)
 
         if (!r.error.empty()) {
             std::vector<std::string> row = {scenario, point, "X"};
-            for (std::size_t c = 0; c < statsHeader().size(); ++c)
+            for (std::size_t c = 0; c < statsHeader(probe_spad).size();
+                 ++c)
                 row.push_back("X");
             t.addRow(std::move(row));
             continue;
@@ -102,7 +146,7 @@ sweepTable(const std::vector<ScenarioResult> &results)
         for (const auto &arch : orderedArchs(r.job.options, r.cases)) {
             std::vector<std::string> row = {scenario, point, arch};
             for (auto &cell : statsCells(cfg, r.cases.at(arch),
-                                         canon_cycles))
+                                         canon_cycles, probe_spad))
                 row.push_back(std::move(cell));
             t.addRow(std::move(row));
         }

@@ -36,13 +36,17 @@ namespace runner
  * transitions, energy, power, speedup-vs-canon) shared by the
  * single-scenario table and the combined sweep table. @p canon_cycles
  * of 0 renders the speedup column as "X" (no canon reference).
+ * @p probe_spad appends the scratchpad occupancy probe columns (mean
+ * resident rows, % cycles at the resident cap, tag compares per
+ * buffer probe); profiles without orchestrator counters render "X".
  */
 std::vector<std::string> statsCells(const CanonConfig &cfg,
                                     const ExecutionProfile &profile,
-                                    double canon_cycles);
+                                    double canon_cycles,
+                                    bool probe_spad = false);
 
 /** Header labels matching statsCells, in the same order. */
-const std::vector<std::string> &statsHeader();
+const std::vector<std::string> &statsHeader(bool probe_spad = false);
 
 /**
  * Architectures present in @p cases that were requested by @p opt,

@@ -5,16 +5,6 @@
 namespace canon
 {
 
-void
-Simulator::step()
-{
-    for (auto *c : components_)
-        c->tickCompute();
-    for (auto *c : components_)
-        c->tickCommit();
-    ++now_;
-}
-
 Cycle
 Simulator::run(const std::function<bool()> &done, Cycle max_cycles)
 {

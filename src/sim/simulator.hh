@@ -4,7 +4,18 @@
  *
  * Simulator owns no hardware; models register themselves (or are
  * registered by their parent) and the loop advances all of them in the
- * two-phase protocol of clocked.hh. A watchdog bounds runaway
+ * two-phase protocol of clocked.hh. Registration comes in two forms:
+ *
+ *  - addTyped<T>() buckets the component into the contiguous typed
+ *    partition of its concrete type (schedule.hh), advanced by direct
+ *    non-virtual calls with dead phases elided -- the fast path every
+ *    fabric-owned component uses.
+ *  - add(Clocked*) keeps the classic virtual interface: the component
+ *    joins the residual virtual partition and ticks in both phases.
+ *    External embedder models and test doubles need no changes.
+ *
+ * Both forms advance in the same two phases; registration order and
+ * partition shape never affect results. A watchdog bounds runaway
  * simulations: a mis-programmed FSM that never reaches the done
  * predicate fails loudly rather than hanging a test.
  */
@@ -13,10 +24,10 @@
 #define CANON_SIM_SIMULATOR_HH
 
 #include <functional>
-#include <vector>
 
 #include "common/types.hh"
 #include "sim/clocked.hh"
+#include "sim/schedule.hh"
 
 namespace canon
 {
@@ -26,13 +37,36 @@ class Simulator
   public:
     Simulator() = default;
 
-    /** Register a component; not owned. Order does not affect results. */
-    void add(Clocked *c) { components_.push_back(c); }
+    /**
+     * Register a component through the virtual Clocked interface; not
+     * owned. Order does not affect results. This is the compatibility
+     * path for components the schedule has no typed partition for.
+     */
+    void add(Clocked *c) { schedule_.addVirtual(c); }
+
+    /**
+     * Register a component into the typed partition of its concrete
+     * type; not owned. T needs tickCompute()/tickCommit() members and
+     * may declare dead phases (see schedule.hh); it does not need to
+     * derive from Clocked.
+     */
+    template <typename T>
+    void
+    addTyped(T *c)
+    {
+        schedule_.add<T>(c);
+    }
 
     Cycle now() const { return now_; }
 
     /** Advance exactly one cycle. */
-    void step();
+    void
+    step()
+    {
+        schedule_.tickCompute();
+        schedule_.tickCommit();
+        ++now_;
+    }
 
     /**
      * Run until @p done returns true (checked before each cycle).
@@ -46,7 +80,7 @@ class Simulator
     void runFor(Cycle cycles);
 
   private:
-    std::vector<Clocked *> components_;
+    TickSchedule schedule_;
     Cycle now_ = 0;
 };
 

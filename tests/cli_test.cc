@@ -525,6 +525,56 @@ TEST(CliDriver, StatsTableBuildsForComparisonRun)
     (void)t;
 }
 
+TEST(CliOptions, ParsesProbeSpadFlag)
+{
+    EXPECT_FALSE(parse({}).options.probeSpad);
+    const auto res = parse({"--probe-spad"});
+    ASSERT_TRUE(res.ok);
+    EXPECT_TRUE(res.options.probeSpad);
+}
+
+TEST(CliDriver, ProbeSpadAppendsOccupancyColumns)
+{
+    Options o = smokeOptions(Workload::Spmm);
+    o.archs = {"canon", "systolic"};
+    CaseResult r = runCases(o);
+
+    std::ostringstream base_csv;
+    buildStatsTable(o, r).writeCsv(base_csv);
+
+    o.probeSpad = true;
+    std::ostringstream probe_csv;
+    buildStatsTable(o, r).writeCsv(probe_csv);
+
+    auto lines = [](const std::string &s) {
+        std::vector<std::string> out;
+        std::istringstream in(s);
+        for (std::string l; std::getline(in, l);)
+            out.push_back(l);
+        return out;
+    };
+    const auto base = lines(base_csv.str());
+    const auto probed = lines(probe_csv.str());
+    ASSERT_EQ(base.size(), probed.size());
+
+    // The probe table is the base table with three appended columns:
+    // every base CSV line is a strict prefix of its probed line.
+    EXPECT_NE(probed[0].find("SpadOcc"), std::string::npos);
+    EXPECT_NE(probed[0].find("SpadCap%"), std::string::npos);
+    EXPECT_NE(probed[0].find("Cmp/Probe"), std::string::npos);
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        EXPECT_EQ(probed[i].rfind(base[i], 0), 0u) << "line " << i;
+        EXPECT_GT(probed[i].size(), base[i].size()) << "line " << i;
+    }
+
+    // Canon carries the occupancy counters; the baseline renders "X".
+    ASSERT_GE(probed.size(), 3u);
+    EXPECT_EQ(probed[1].find(",X,X,X"), std::string::npos)
+        << "canon row should have numeric probe cells: " << probed[1];
+    EXPECT_NE(probed[2].find("X,X,X"), std::string::npos)
+        << "baseline row should render X probe cells: " << probed[2];
+}
+
 } // namespace
 } // namespace cli
 } // namespace canon

@@ -223,6 +223,63 @@ TEST(Profile, FabricExportsActivity)
     EXPECT_EQ(p.peCount, 4u);
 }
 
+TEST(Determinism, RegistrationShuffleLeavesResultsIdentical)
+{
+    // The typed tick schedule may advance partitions in any order; the
+    // two-phase protocol makes that unobservable. Construct the same
+    // fabric under several registration-order shuffles and require the
+    // result matrix, cycle count, and every activity counter to match.
+    CanonConfig cfg;
+    cfg.rows = 4;
+    cfg.cols = 4;
+
+    auto execute = [&](std::uint64_t shuffle_seed) {
+        Rng rng(7);
+        const auto a = randomSparse(16, 16, 0.5, rng);
+        const auto b = randomDense(16, 16, rng);
+        CanonFabric fabric(cfg, shuffle_seed);
+        fabric.load(mapSpmm(CsrMatrix::fromDense(a), b, cfg));
+        fabric.run();
+        return std::pair{fabric.result(), fabric.profile("shuffle")};
+    };
+
+    const auto [ref_out, ref_prof] = execute(0);
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        const auto [out, prof] = execute(seed);
+        EXPECT_EQ(out, ref_out) << "seed " << seed;
+        EXPECT_EQ(prof.cycles, ref_prof.cycles) << "seed " << seed;
+        EXPECT_EQ(prof.activity, ref_prof.activity) << "seed " << seed;
+    }
+}
+
+TEST(Determinism, ShuffleAppliesToLoadTimeComponents)
+{
+    // SDDMM exercises the east collector + north feeder + message sink
+    // path, whose registrations happen at load() time.
+    CanonConfig cfg;
+    cfg.rows = 4;
+    cfg.cols = 4;
+    cfg.spadEntries = 16;
+
+    auto execute = [&](std::uint64_t shuffle_seed) {
+        Rng rng(8);
+        const auto a = randomDense(8, 16, rng);
+        const auto b = randomDense(16, 8, rng);
+        const auto mask = randomMask(8, 8, 0.5, rng);
+        CanonFabric fabric(cfg, shuffle_seed);
+        fabric.load(mapSddmm(mask, a, b, cfg));
+        fabric.run();
+        return std::pair{fabric.result(), fabric.cycles()};
+    };
+
+    const auto [ref_out, ref_cycles] = execute(0);
+    for (std::uint64_t seed : {1ull, 2ull}) {
+        const auto [out, cycles] = execute(seed);
+        EXPECT_EQ(out, ref_out) << "seed " << seed;
+        EXPECT_EQ(cycles, ref_cycles) << "seed " << seed;
+    }
+}
+
 TEST(Profile, ScaleAndAccumulate)
 {
     ExecutionProfile a;
