@@ -141,6 +141,17 @@ benchUsageText()
            "  --cache M    off | read | write | readwrite | refresh\n"
            "               (default readwrite; refresh re-runs and\n"
            "               overwrites existing entries)\n"
+           "  --sample-every N  sample fabric counters every N"
+           " simulated\n"
+           "               cycles (cycle-resolved time series)\n"
+           "  --series-out P  sampled series as long-form CSV"
+           " (requires\n"
+           "               --sample-every)\n"
+           "  --trace-out P  Chrome trace-event JSON of the run\n"
+           "  --stats-json P  canon.stats.v1 per-point stats dump\n"
+           "               (observability flags never change figure\n"
+           "               CSVs or cache keys; cached points render\n"
+           "               without simulating and go unobserved)\n"
            "  --help       show this text and exit\n";
 }
 

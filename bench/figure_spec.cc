@@ -9,6 +9,8 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "engine/engine.hh"
+#include "engine/obs_report.hh"
+#include "obs/collector.hh"
 #include "runner/shard.hh"
 
 namespace canon
@@ -173,15 +175,34 @@ FigureBench::run(const BenchOptions &opt, std::ostream &out,
     // Submit the shard as one payload batch: execution goes through
     // the payload codec on hit *and* miss, so a warm rerun renders
     // exactly the bytes the cold run rendered.
+    //
+    // When observability flags are on, each compute closure runs
+    // under its own collector so the fabrics it constructs report
+    // back; cache-hit points compute nothing and stay unobserved.
+    const obs::ObsOptions &obs_opt = opt.common.obs;
+    std::vector<std::shared_ptr<const obs::ScenarioObs>> job_obs(
+        jobs.size());
     std::vector<engine::PayloadJob> batch;
     batch.reserve(jobs.size());
-    for (const JobRef &job : jobs) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const JobRef &job = jobs[i];
         const FigureTable &table = tables_[job.table];
+        std::function<std::string()> compute =
+            [&table, &point = job.point] {
+                return cache::encodeRows(table.emit(point));
+            };
+        if (obs_opt.enabled())
+            compute = [compute = std::move(compute), &obs_opt,
+                       &job_obs, i] {
+                obs::Collector col(obs_opt);
+                obs::ScopedCollector scope(col);
+                std::string payload = compute();
+                job_obs[i] = col.finish();
+                return payload;
+            };
         batch.push_back(
             {cache::figureKey(name_, table.title, job.point.label),
-             [&table, &point = job.point] {
-                 return cache::encodeRows(table.emit(point));
-             }});
+             std::move(compute)});
     }
 
     std::vector<std::string> payloads;
@@ -227,6 +248,21 @@ FigureBench::run(const BenchOptions &opt, std::ostream &out,
         if (!spec.note.empty())
             out << "\n" << spec.note << "\n";
     }
+
+    if (obs_opt.enabled()) {
+        std::vector<std::string> labels;
+        labels.reserve(jobs.size());
+        for (const JobRef &job : jobs)
+            labels.push_back(tables_[job.table].title + ": " +
+                             job.point.label);
+        const engine::ObsReport rep = engine::ObsReport::buildPayload(
+            obs_opt, labels, job_obs, eng.store());
+        if (std::string oerr = rep.writeOutputs(); !oerr.empty()) {
+            err << name_ << ": " << oerr << "\n";
+            return 1;
+        }
+    }
+
     if (eng.store())
         out << name_ << ": " << eng.store()->statsLine() << "\n";
     return 0;

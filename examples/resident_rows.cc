@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Measure the per-resident-row cycle cost curve that justifies the
+ * proxy-row cap (kMinProxyRows / effectiveProxyRows) in the
+ * CanonRunner scaling model.
+ *
+ * For 16x16 and 32x32 fabrics, this drives a large synthetic SpMM
+ * through CanonRunner with explicit CanonRunOptions::maxProxyRows
+ * overrides, so each run simulates exactly that many output rows. A
+ * Collector from the obs layer is installed around each run: the
+ * scaling model reports *scaled* cycles, but FabricRunObs records the
+ * raw simulated cycles of the proxy itself, which is what the per-row
+ * cost is defined over. The flat stats of the same observation give
+ * the scratchpad cap-pressure share that explains the knee.
+ *
+ * Output: an aligned table on stdout and resident_rows.csv in the
+ * CWD (consumed by docs/resident_rows.md).
+ */
+
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <numeric>
+
+#include "obs/collector.hh"
+#include "workloads/canon_runner.hh"
+
+namespace
+{
+
+struct Measurement
+{
+    int fabric = 0;        // rows == cols
+    int residentRows = 0;  // simulated output rows (the cap)
+    std::uint64_t cycles = 0; // raw proxy cycles (unscaled)
+    double perRow = 0.0;
+    double spadCapPct = 0.0; // % of orch-cycles at resident cap
+};
+
+Measurement
+measure(int fabric, int resident_rows)
+{
+    canon::CanonConfig cfg;
+    cfg.rows = fabric;
+    cfg.cols = fabric;
+
+    canon::CanonRunOptions opt;
+    opt.maxProxyRows = resident_rows;
+
+    // M far beyond every cap so the proxy path always engages and the
+    // simulated row count is exactly the override; full K so row-slice
+    // populations are authentic, one column pass.
+    const std::int64_t m = 1 << 20;
+    const std::int64_t k = 128;
+    const std::int64_t n = fabric * canon::kSimdWidth;
+
+    canon::obs::ObsOptions obs_opt;
+    obs_opt.statsJsonOut = "(memory)"; // enables flat-stats capture;
+                                       // nothing is written to disk
+    canon::obs::Collector col(obs_opt);
+    std::shared_ptr<const canon::obs::ScenarioObs> seen;
+    {
+        canon::obs::ScopedCollector scope(col);
+        canon::CanonRunner runner(cfg);
+        (void)runner.spmmShape(m, k, n, 0.7, 42, opt);
+        seen = col.finish();
+    }
+
+    Measurement out;
+    out.fabric = fabric;
+    out.residentRows = resident_rows;
+    if (seen->runs.empty()) {
+        std::cerr << "resident_rows: no observed fabric run\n";
+        std::exit(1);
+    }
+    const auto &run = seen->runs.front();
+    out.cycles = run.cycles;
+    out.perRow = static_cast<double>(run.cycles) / resident_rows;
+
+    // Sum spadCapCycles over every orchestrator; the denominator is
+    // one orchestrator-cycle per fabric row per simulated cycle.
+    std::uint64_t cap_cycles = 0;
+    for (const auto &[path, value] : run.flat)
+        if (path.size() > 13 &&
+            path.compare(path.size() - 13, 13, "spadCapCycles") == 0)
+            cap_cycles += value;
+    out.spadCapPct = 100.0 * static_cast<double>(cap_cycles) /
+                     (static_cast<double>(run.cycles) * fabric);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    const int fabrics[] = {16, 32};
+    const int caps[] = {256, 512, 1024, 2048, 4096};
+
+    std::ofstream csv("resident_rows.csv");
+    csv << "fabric,resident_rows,cycles,cycles_per_row,"
+           "spad_cap_pct\n";
+
+    std::cout << std::setw(8) << "fabric" << std::setw(10) << "rows"
+              << std::setw(12) << "cycles" << std::setw(12)
+              << "cyc/row" << std::setw(12) << "spadCap%" << "\n";
+    for (int fabric : fabrics) {
+        for (int cap : caps) {
+            const auto m = measure(fabric, cap);
+            std::cout << std::setw(8) << m.fabric << std::setw(10)
+                      << m.residentRows << std::setw(12) << m.cycles
+                      << std::setw(12) << std::fixed
+                      << std::setprecision(2) << m.perRow
+                      << std::setw(12) << std::setprecision(1)
+                      << m.spadCapPct << "\n";
+            csv << m.fabric << ',' << m.residentRows << ','
+                << m.cycles << ',' << std::fixed
+                << std::setprecision(4) << m.perRow << ','
+                << std::setprecision(2) << m.spadCapPct << '\n';
+        }
+    }
+    std::cout << "\nwrote resident_rows.csv\n";
+    return 0;
+}

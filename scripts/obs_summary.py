@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Summarize a canon --series-out time-series CSV.
+
+The input is the long-form CSV the sampler emits
+(scenario,pass,metric,component,cycle,value) with cumulative counter
+readings. For every (scenario, pass, metric, component) series this
+prints the final value, the run length in sampled cycles, and the
+mean rate (final value / final cycle) -- the quick look that answers
+"which component saturated" without opening the trace UI.
+
+With --metric the report is restricted to one metric; with --csv the
+summary is emitted as machine-readable CSV instead of the aligned
+table.
+
+Usage: obs_summary.py SERIES.csv [--metric NAME] [--csv]
+"""
+
+import argparse
+import csv
+import sys
+
+HEADER = ["scenario", "pass", "metric", "component", "cycle", "value"]
+
+
+def read_series(path):
+    """{(scenario, pass, metric, component): [(cycle, value), ...]}"""
+    series = {}
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        header = next(reader, None)
+        if header != HEADER:
+            sys.exit(
+                f"obs_summary: {path}: unexpected header {header!r}"
+            )
+        for row in reader:
+            if len(row) != 6:
+                sys.exit(f"obs_summary: {path}: malformed row {row!r}")
+            key = (int(row[0]), int(row[1]), row[2], row[3])
+            series.setdefault(key, []).append(
+                (int(row[4]), int(row[5]))
+            )
+    return series
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("series", help="path to the --series-out CSV")
+    ap.add_argument("--metric", help="only report this metric")
+    ap.add_argument(
+        "--csv",
+        action="store_true",
+        help="emit the summary as CSV instead of a table",
+    )
+    args = ap.parse_args()
+
+    series = read_series(args.series)
+    rows = []
+    for (scenario, pass_, metric, component), pts in sorted(
+        series.items()
+    ):
+        if args.metric and metric != args.metric:
+            continue
+        cycles, values = zip(*pts)
+        final_cycle, final_value = cycles[-1], values[-1]
+        if list(cycles) != sorted(cycles):
+            sys.exit(
+                f"obs_summary: series {metric}/{component} of "
+                f"scenario {scenario} is not cycle-ordered"
+            )
+        if list(values) != sorted(values):
+            sys.exit(
+                f"obs_summary: series {metric}/{component} of "
+                f"scenario {scenario} is not cumulative"
+            )
+        rate = final_value / final_cycle if final_cycle else 0.0
+        rows.append(
+            (
+                scenario,
+                pass_,
+                metric,
+                component,
+                len(pts),
+                final_cycle,
+                final_value,
+                rate,
+            )
+        )
+
+    if not rows:
+        sys.exit("obs_summary: no matching series")
+
+    if args.csv:
+        w = csv.writer(sys.stdout)
+        w.writerow(
+            [
+                "scenario",
+                "pass",
+                "metric",
+                "component",
+                "samples",
+                "cycles",
+                "final",
+                "per_cycle",
+            ]
+        )
+        for r in rows:
+            w.writerow([*r[:7], f"{r[7]:.6f}"])
+        return
+
+    fmt = "{:>8} {:>4} {:<18} {:<10} {:>7} {:>10} {:>12} {:>10}"
+    print(
+        fmt.format(
+            "scenario",
+            "pass",
+            "metric",
+            "component",
+            "samples",
+            "cycles",
+            "final",
+            "per_cycle",
+        )
+    )
+    for r in rows:
+        print(fmt.format(*r[:7], f"{r[7]:.4f}"))
+
+
+if __name__ == "__main__":
+    main()

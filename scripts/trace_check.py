@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validate a canon --trace-out Chrome trace-event JSON document.
+
+Checks, in order:
+
+ 1. the file parses as JSON and has the canon-trace-1 envelope
+    (traceEvents array, otherData.schema, displayTimeUnit);
+ 2. every event carries the required fields for its phase -- all
+    events name/ph/ts/pid/tid, complete events ("X") a non-negative
+    dur, instants ("i") the thread scope marker s="t";
+ 3. per (pid, tid) track, timestamps are non-decreasing in array
+    order (the writer serializes scenarios on a virtual timeline, so
+    an out-of-order event means the report layer regressed);
+ 4. the metadata names the expected tracks ("engine" and, when any
+    simulation executed, "sim").
+
+Exit code 0 on success; 1 with a diagnostic on the first violation.
+
+Usage: trace_check.py TRACE.json [--min-events N]
+"""
+
+import argparse
+import json
+import sys
+
+PHASES = {"M", "X", "i", "C"}
+SCHEMA = "canon-trace-1"
+
+
+def fail(msg):
+    print(f"trace_check: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(trace_path, min_events):
+    try:
+        with open(trace_path, "rb") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{trace_path}: {e}")
+
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    schema = doc.get("otherData", {}).get("schema")
+    if schema != SCHEMA:
+        fail(f"otherData.schema is {schema!r}, expected {SCHEMA!r}")
+    if doc.get("displayTimeUnit") != "ms":
+        fail("displayTimeUnit is not 'ms'")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("traceEvents is not an array")
+    if len(events) < min_events:
+        fail(f"only {len(events)} events, expected >= {min_events}")
+
+    last_ts = {}
+    thread_names = set()
+    counts = dict.fromkeys(PHASES, 0)
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            if field not in e:
+                fail(f"{where}: missing {field!r}")
+        ph = e["ph"]
+        if ph not in PHASES:
+            fail(f"{where}: unexpected phase {ph!r}")
+        counts[ph] += 1
+        if ph == "X" and e.get("dur", -1) < 0:
+            fail(f"{where}: X event without non-negative dur")
+        if ph == "i" and e.get("s") != "t":
+            fail(f"{where}: instant without thread scope s='t'")
+        if ph == "M":
+            if e["name"] == "thread_name":
+                thread_names.add(e.get("args", {}).get("name"))
+            continue
+        track = (e["pid"], e["tid"])
+        ts = e["ts"]
+        if ts < last_ts.get(track, 0):
+            fail(
+                f"{where}: ts {ts} goes backwards on track "
+                f"pid={track[0]} tid={track[1]} "
+                f"(previous {last_ts[track]})"
+            )
+        last_ts[track] = ts
+
+    if "engine" not in thread_names:
+        fail("no 'engine' thread_name metadata event")
+    if counts["X"] == 0:
+        fail("no complete ('X') spans at all")
+
+    print(
+        f"trace_check: OK: {trace_path}: {len(events)} events "
+        f"({counts['X']} spans, {counts['C']} counter samples, "
+        f"{counts['i']} instants) on {len(last_ts)} tracks, "
+        "timestamps monotonic per track"
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="path to the --trace-out JSON file")
+    ap.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="minimum total event count (default 1)",
+    )
+    args = ap.parse_args()
+    check(args.trace, args.min_events)
+
+
+if __name__ == "__main__":
+    main()

@@ -175,6 +175,15 @@ runScenario(const Options &opt, std::ostream &out, std::ostream &err)
 
     engine::ResultSet rs = eng.run(req);
 
+    // Observability artifacts write before the report renders so a
+    // render failure cannot leave a partial series/trace behind.
+    if (rs.obs().enabled()) {
+        if (std::string oerr = rs.obs().writeOutputs(); !oerr.empty()) {
+            err << "canonsim: " << oerr << "\n";
+            return 1;
+        }
+    }
+
     // A sharded run always uses the sweep report, even for a single
     // scenario: its slice may be empty and its CSV must obey the
     // shard concatenation contract.

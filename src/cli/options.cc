@@ -417,6 +417,23 @@ usageText()
         "                    (default readwrite; refresh re-runs and\n"
         "                    overwrites existing entries)\n"
         "\n"
+        "Observability (instrumentation only; never changes results\n"
+        "or cache keys, and all outputs are byte-identical across\n"
+        "--jobs values):\n"
+        "  --sample-every N  sample fabric counters every N simulated\n"
+        "                    cycles (cycle-resolved time series)\n"
+        "  --series-out P    write the sampled series as long-form\n"
+        "                    CSV (requires --sample-every)\n"
+        "  --trace-out P     write a Chrome trace-event JSON (load\n"
+        "                    into Perfetto / about://tracing): engine\n"
+        "                    scenario spans, sim run spans, cache\n"
+        "                    probe/hit/miss/store instants, and -- \n"
+        "                    with --sample-every -- counter tracks\n"
+        "  --stats-json P    write the canon.stats.v1 dump: per\n"
+        "                    scenario, the per-arch activity profiles\n"
+        "                    and the full flat fabric stats view of\n"
+        "                    every executed simulation run\n"
+        "\n"
         "Output:\n"
         "  --csv PATH        also write the stats table as CSV\n"
         "  --probe-spad      add scratchpad occupancy columns to the\n"

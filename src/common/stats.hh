@@ -11,6 +11,7 @@
 #define CANON_COMMON_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -83,14 +84,27 @@ class StatGroup
     StatGroup(const StatGroup &) = delete;
     StatGroup &operator=(const StatGroup &) = delete;
 
-    /** Register (or fetch) a counter under this group. */
+    /**
+     * Register (or fetch) a counter under this group. A name that
+     * contains '.' panics: it would forge a nested flat path and
+     * silently shadow (or be shadowed by) a real child's entry in the
+     * flat view. So does a name already taken by a child group.
+     */
     Counter &counter(const std::string &name);
 
-    /** Register (or fetch) a distribution under this group. */
+    /** Register (or fetch) a distribution; same name rules. */
     Distribution &distribution(const std::string &name);
 
-    /** Create (or fetch) a nested child group. */
+    /**
+     * Create a nested child group. Duplicate registration panics:
+     * two components merging into one group would silently share (and
+     * double-count) any same-named counters in the flat view. A name
+     * containing '.' or already taken by a counter panics too.
+     */
     StatGroup &child(const std::string &name);
+
+    /** Fetch an existing child group; a missing name panics. */
+    StatGroup &childAt(const std::string &name) const;
 
     const std::string &name() const { return name_; }
 
@@ -99,6 +113,17 @@ class StatGroup
 
     /** Flatten the subtree into `path -> value` entries. */
     std::map<std::string, std::uint64_t> flatten() const;
+
+    /**
+     * Visit every counter in the subtree as (flat dotted path,
+     * counter), counters of a group before its children, names in
+     * lexicographic order -- the deterministic enumeration the
+     * cycle sampler resolves its probes from. The visited references
+     * stay valid for the group's lifetime (counters are node-based).
+     */
+    void visitCounters(
+        const std::function<void(const std::string &path,
+                                 const Counter &ctr)> &fn) const;
 
     /** Zero every statistic in the subtree. */
     void resetAll();

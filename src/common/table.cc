@@ -117,11 +117,13 @@ Table::writeCsv(std::ostream &os, bool with_header) const
 bool
 Table::writeCsv(const std::string &path, bool with_header) const
 {
+    // No warn() here: every caller checks the return value and
+    // reports through its own injected error stream, so logging to
+    // the global stream as well would double-report (and bypass the
+    // stream injection embedders rely on).
     std::ofstream f(path);
-    if (!f) {
-        warn("Table '", title_, "': cannot open ", path, " for CSV output");
+    if (!f)
         return false;
-    }
     writeCsv(f, with_header);
     return f.good();
 }

@@ -1,9 +1,13 @@
 #include "core/fabric.hh"
 
 #include "common/rng.hh"
+#include "obs/collector.hh"
+#include "obs/sampler.hh"
 
 namespace canon
 {
+
+CanonFabric::~CanonFabric() = default;
 
 CanonFabric::CanonFabric(const CanonConfig &cfg,
                          std::uint64_t reg_shuffle_seed)
@@ -247,7 +251,21 @@ Cycle
 CanonFabric::run(Cycle max_cycles)
 {
     fatalIf(!loaded_, "CanonFabric::run: no kernel loaded");
-    return sim_.run([this] { return done(); }, max_cycles);
+    obs::Collector *col = obs::current();
+    if (col && col->sampling() && !sampler_) {
+        sampler_ = std::make_unique<obs::CycleSampler>(
+            stats_, col->options().sampleEvery);
+        sim_.addTyped(sampler_.get());
+    }
+    const Cycle elapsed = sim_.run([this] { return done(); }, max_cycles);
+    if (col) {
+        if (sampler_)
+            sampler_->captureFinal();
+        col->recordFabricRun(stats_, elapsed,
+                             sampler_ ? sampler_->take()
+                                      : obs::SeriesSet{});
+    }
+    return elapsed;
 }
 
 Cycle

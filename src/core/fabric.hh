@@ -36,6 +36,11 @@
 namespace canon
 {
 
+namespace obs
+{
+class CycleSampler;
+}
+
 class CanonFabric
 {
   public:
@@ -48,6 +53,9 @@ class CanonFabric
      */
     explicit CanonFabric(const CanonConfig &cfg,
                          std::uint64_t reg_shuffle_seed = 0);
+
+    /** Out of line: sampler_ is incomplete here. */
+    ~CanonFabric();
 
     const CanonConfig &config() const { return cfg_; }
 
@@ -139,6 +147,14 @@ class CanonFabric
 
     /** Batched commit pass over every data channel (schedule.hh). */
     FifoCommitList<Vec4> dataCommits_;
+
+    /**
+     * Cycle-resolved stats sampler, constructed (and registered as a
+     * commit-only schedule partition) in run() only when the current
+     * thread is observing with a sampling cadence. Null otherwise, so
+     * a non-observed fabric's schedule is untouched.
+     */
+    std::unique_ptr<obs::CycleSampler> sampler_;
 
     std::uint64_t shuffleSeed_ = 0;
     bool loaded_ = false;

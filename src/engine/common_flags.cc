@@ -25,7 +25,9 @@ bool
 isCommonFlag(const std::string &key)
 {
     return key == "--jobs" || key == "--shard" ||
-           key == "--cache-dir" || key == "--cache";
+           key == "--cache-dir" || key == "--cache" ||
+           key == "--sample-every" || key == "--series-out" ||
+           key == "--trace-out" || key == "--stats-json";
 }
 
 FlagParse
@@ -67,6 +69,40 @@ parseCommonFlag(const std::string &key, const std::string &value,
         out.cacheModeSet = true;
         return FlagParse::Ok;
     }
+    if (key == "--sample-every") {
+        int v = 0;
+        if (!parseInt(value, v) || v < 1 || v > 1'000'000'000) {
+            error = "option '--sample-every' expects a cycle count in"
+                    " [1, 1000000000], got '" + value + "'";
+            return FlagParse::Error;
+        }
+        out.obs.sampleEvery = static_cast<std::uint64_t>(v);
+        return FlagParse::Ok;
+    }
+    if (key == "--series-out") {
+        if (value.empty()) {
+            error = "option '--series-out' expects a path";
+            return FlagParse::Error;
+        }
+        out.obs.seriesOut = value;
+        return FlagParse::Ok;
+    }
+    if (key == "--trace-out") {
+        if (value.empty()) {
+            error = "option '--trace-out' expects a path";
+            return FlagParse::Error;
+        }
+        out.obs.traceOut = value;
+        return FlagParse::Ok;
+    }
+    if (key == "--stats-json") {
+        if (value.empty()) {
+            error = "option '--stats-json' expects a path";
+            return FlagParse::Error;
+        }
+        out.obs.statsJsonOut = value;
+        return FlagParse::Ok;
+    }
     return FlagParse::NotCommon;
 }
 
@@ -75,6 +111,12 @@ validateCommonFlags(const CommonFlags &flags)
 {
     if (flags.cacheModeSet && flags.cacheDir.empty())
         return "option '--cache' requires --cache-dir";
+    if (!flags.obs.seriesOut.empty() && !flags.obs.sampling())
+        return "option '--series-out' requires --sample-every";
+    if (flags.obs.sampling() && flags.obs.seriesOut.empty() &&
+        flags.obs.traceOut.empty() && flags.obs.statsJsonOut.empty())
+        return "option '--sample-every' requires an output flag"
+               " (--series-out, --trace-out, or --stats-json)";
     return {};
 }
 

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "cache/mode.hh"
+#include "obs/options.hh"
 #include "runner/shard.hh"
 
 namespace canon
@@ -49,6 +50,13 @@ struct CommonFlags
 
     /** --cache given explicitly (it requires --cache-dir). */
     bool cacheModeSet = false;
+
+    /**
+     * Observability: --sample-every, --series-out, --trace-out, and
+     * --stats-json. Instrumentation-only; never part of the scenario
+     * cache key and never changes simulated results.
+     */
+    obs::ObsOptions obs;
 };
 
 /** Outcome of offering one flag to parseCommonFlag. */
@@ -59,14 +67,16 @@ enum class FlagParse : int
     Error,     //!< a common flag with a bad value; see the message
 };
 
-/** True for the four keys parseCommonFlag recognizes. */
+/** True for the keys parseCommonFlag recognizes. */
 bool isCommonFlag(const std::string &key);
 
 /**
  * Offer one already-split "--key" / value pair to the common grammar.
- * Recognizes --jobs, --shard, --cache-dir, and --cache (the caller
- * handles --key=value splitting and value lookahead). On Error,
- * @p error holds the message; on NotCommon nothing is touched.
+ * Recognizes --jobs, --shard, --cache-dir, --cache, and the
+ * observability keys --sample-every, --series-out, --trace-out, and
+ * --stats-json (the caller handles --key=value splitting and value
+ * lookahead). On Error, @p error holds the message; on NotCommon
+ * nothing is touched.
  */
 FlagParse parseCommonFlag(const std::string &key,
                           const std::string &value, CommonFlags &out,
@@ -74,8 +84,9 @@ FlagParse parseCommonFlag(const std::string &key,
 
 /**
  * Cross-flag validation, called once after the last flag: --cache
- * without --cache-dir is a usage error. Returns an empty string on
- * success, otherwise the message.
+ * without --cache-dir, --series-out without --sample-every, and
+ * --sample-every without any output flag are usage errors. Returns an
+ * empty string on success, otherwise the message.
  */
 std::string validateCommonFlags(const CommonFlags &flags);
 

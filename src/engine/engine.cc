@@ -142,6 +142,9 @@ Engine::execute(const std::vector<runner::SweepJob> &sharded,
     rs.results_ =
         pool_.run(sharded, runScenarioCases, store(), onResult);
     rs.cache_stats_line_ = cacheStatsLine();
+    const obs::ObsOptions &obs_opt = req.options().common.obs;
+    if (obs_opt.enabled())
+        rs.obs_ = ObsReport::build(obs_opt, rs.results_, store());
     return rs;
 }
 
@@ -248,6 +251,10 @@ Engine::runBatch(const std::vector<ScenarioRequest> &requests,
                                       slices[r].first +
                                       slices[r].count)));
         rs.cache_stats_line_ = cacheStatsLine();
+        const obs::ObsOptions &obs_opt =
+            local[r].options().common.obs;
+        if (obs_opt.enabled())
+            rs.obs_ = ObsReport::build(obs_opt, rs.results_, store());
     }
     return sets;
 }

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "engine/obs_report.hh"
 #include "runner/aggregate.hh"
 #include "runner/pool.hh"
 #include "runner/shard.hh"
@@ -108,6 +109,13 @@ class ResultSet
         return cache_stats_line_;
     }
 
+    /**
+     * The observability report for this submission. Disabled (all
+     * writers no-ops) unless the request's obs flags asked for
+     * output; see obs_report.hh.
+     */
+    const ObsReport &obs() const { return obs_; }
+
   private:
     friend class Engine;
 
@@ -119,6 +127,7 @@ class ResultSet
     runner::Shard shard_;
     bool single_ = false;
     std::string cache_stats_line_;
+    ObsReport obs_;
 };
 
 } // namespace engine

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The cycle-resolved sampler: a typed, commit-only schedule partition
+ * that reads a fixed probe set out of a StatGroup tree every N cycles.
+ *
+ * Zero-cost-when-off is structural, not branchy: when sampling is
+ * disabled no CycleSampler is constructed and no partition is
+ * registered, so the cycle loop is bit-for-bit the schedule it would
+ * have been without this file. When enabled, the sampler joins the
+ * commit phase (kHasTickCompute = false elides it from the compute
+ * pass) and each sample is a handful of pointer reads: every probe is
+ * resolved to direct Counter pointers at construction, which is safe
+ * because StatGroup's maps are node-based and the fabric registers all
+ * counters before it first ticks.
+ *
+ * Sampling in the commit phase makes the series deterministic: every
+ * counter bumps in the compute phase, so by any commit pass the values
+ * for that cycle are final regardless of partition or registration
+ * order.
+ */
+
+#ifndef CANON_OBS_SAMPLER_HH
+#define CANON_OBS_SAMPLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/series.hh"
+
+namespace canon
+{
+
+class StatGroup;
+class Counter;
+
+namespace obs
+{
+
+class CycleSampler final
+{
+  public:
+    static constexpr bool kHasTickCompute = false;
+
+    /**
+     * Resolve the probe set against @p stats (a fabric stats tree) and
+     * sample it every @p every cycles. @p every must be > 0.
+     *
+     * Probes: each tracked metric is summed fabric-wide into component
+     * "fabric", and the orchestrator residency/matching metrics are
+     * additionally split per top-level "orch*" child.
+     */
+    CycleSampler(const StatGroup &stats, std::uint64_t every);
+
+    void tickCompute() {}
+
+    void
+    tickCommit()
+    {
+        if (++tick_ % every_ == 0)
+            capture();
+    }
+
+    /**
+     * Record the final partial-interval sample (no-op when the last
+     * cycle already landed on the cadence). Call after the run drains.
+     */
+    void captureFinal();
+
+    /** Cycles observed since registration (the series time axis). */
+    std::uint64_t tick() const { return tick_; }
+
+    /** Move the accumulated series out; the sampler keeps ticking. */
+    SeriesSet take();
+
+  private:
+    struct Probe
+    {
+        std::string metric;
+        std::string component;
+        std::vector<const Counter *> sources;
+    };
+
+    void capture();
+
+    std::uint64_t every_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t lastCaptured_ = 0;
+    bool captured_ = false;
+    std::vector<Probe> probes_;
+    std::vector<std::vector<SeriesPoint>> points_;
+};
+
+} // namespace obs
+} // namespace canon
+
+#endif // CANON_OBS_SAMPLER_HH

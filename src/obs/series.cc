@@ -1,0 +1,25 @@
+#include "obs/series.hh"
+
+#include <ostream>
+
+namespace canon
+{
+namespace obs
+{
+
+const char *const kSeriesCsvHeader =
+    "scenario,pass,metric,component,cycle,value";
+
+void
+writeSeriesCsv(std::ostream &os, std::size_t scenario, std::size_t pass,
+               const SeriesSet &set)
+{
+    for (const Series &s : set.series)
+        for (const SeriesPoint &p : s.points)
+            os << scenario << ',' << pass << ',' << s.metric << ','
+               << s.component << ',' << p.cycle << ',' << p.value
+               << '\n';
+}
+
+} // namespace obs
+} // namespace canon

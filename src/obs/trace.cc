@@ -1,0 +1,57 @@
+#include "obs/trace.hh"
+
+#include <ostream>
+
+#include "obs/json.hh"
+
+namespace canon
+{
+namespace obs
+{
+
+const char *const kTraceSchema = "canon-trace-1";
+
+void
+writeChromeTrace(std::ostream &os, const std::vector<TraceEvent> &events)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("traceEvents");
+    w.beginArray();
+    for (const TraceEvent &e : events) {
+        w.beginObject();
+        w.kv("name", e.name);
+        w.kv("ph", std::string(1, e.phase));
+        if (!e.cat.empty())
+            w.kv("cat", e.cat);
+        w.kv("ts", e.ts);
+        if (e.phase == 'X')
+            w.kv("dur", e.dur);
+        if (e.phase == 'i')
+            w.kv("s", "t"); // thread-scoped instant
+        w.kv("pid", e.pid);
+        w.kv("tid", e.tid);
+        if (!e.args.empty() || !e.sargs.empty()) {
+            w.key("args");
+            w.beginObject();
+            for (const auto &[k, v] : e.sargs)
+                w.kv(k, v);
+            for (const auto &[k, v] : e.args)
+                w.kv(k, v);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.key("otherData");
+    w.beginObject();
+    w.kv("schema", kTraceSchema);
+    w.kv("timeModel", "1 simulated cycle = 1 virtual microsecond");
+    w.endObject();
+    w.kv("displayTimeUnit", "ms");
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace obs
+} // namespace canon

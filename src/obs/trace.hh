@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Chrome trace-event (about://tracing, Perfetto UI) export.
+ *
+ * Events use the documented JSON array format: "X" complete spans,
+ * "i" instants, "C" counter samples, and "M" thread-name metadata.
+ * Timestamps are *virtual* microseconds -- 1 simulated cycle = 1 us on
+ * a serialized timeline (scenario i starts where scenario i-1 ended)
+ * -- so the trace bytes depend only on simulated behaviour, never on
+ * wall-clock, worker count, or scheduling. Per track (pid, tid),
+ * timestamps are non-decreasing; scripts/trace_check.py enforces both
+ * properties in CI.
+ */
+
+#ifndef CANON_OBS_TRACE_HH
+#define CANON_OBS_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace canon
+{
+namespace obs
+{
+
+/** The trace-format schema tag stamped into otherData.schema. */
+extern const char *const kTraceSchema;
+
+struct TraceEvent
+{
+    char phase = 'X';   //!< 'X' span, 'i' instant, 'C' counter, 'M' meta
+    std::string name;
+    std::string cat;    //!< category ("engine", "cache", "sim", ...)
+    std::uint64_t ts = 0;
+    std::uint64_t dur = 0; //!< 'X' only
+    int pid = 0;
+    int tid = 0;
+    /** Integer args ('C' events carry their samples here). */
+    std::vector<std::pair<std::string, std::uint64_t>> args;
+    /** String args ('M' events carry "name" here). */
+    std::vector<std::pair<std::string, std::string>> sargs;
+};
+
+/**
+ * Write @p events as one Chrome trace JSON document, in the given
+ * order (callers pre-sort; the writer adds nothing non-deterministic).
+ */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<TraceEvent> &events);
+
+} // namespace obs
+} // namespace canon
+
+#endif // CANON_OBS_TRACE_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "cache/key.hh"
@@ -89,10 +90,29 @@ ScenarioPool::run(
     forEach(jobs.size(), [&](std::size_t i) {
         ScenarioResult &r = results[i];
 
+        // Observe this job when asked: the collector rides the worker
+        // thread (obs::current()) so the fabric and cache layers can
+        // report without plumbing. With obs off this is one branch.
+        const obs::ObsOptions &obs_opt = jobs[i].options.common.obs;
+        std::optional<obs::Collector> col;
+        std::optional<obs::ScopedCollector> scope;
+        if (obs_opt.enabled()) {
+            col.emplace(obs_opt);
+            scope.emplace(*col);
+        }
+        auto seal = [&] {
+            if (!col)
+                return;
+            scope.reset();
+            r.obs = col->finish();
+        };
+
         cache::ScenarioKey key;
         if (store)
             key = cache::scenarioKey(jobs[i].options);
         if (store && store->readsEnabled()) {
+            if (col)
+                col->recordCacheEvent(obs::CacheEventKind::Probe);
             if (auto payload = store->lookup(key)) {
                 // An undecodable or empty entry (external corruption;
                 // torn files cannot happen) falls through to a
@@ -100,6 +120,9 @@ ScenarioPool::run(
                 if (cache::decodeCaseResult(*payload, r.cases) &&
                     !r.cases.empty()) {
                     store->recordHit();
+                    if (col)
+                        col->recordCacheEvent(obs::CacheEventKind::Hit);
+                    seal();
                     emitReady(i);
                     return;
                 }
@@ -107,8 +130,11 @@ ScenarioPool::run(
             }
         }
 
-        if (store)
+        if (store) {
             store->recordMiss();
+            if (col)
+                col->recordCacheEvent(obs::CacheEventKind::Miss);
+        }
         try {
             r.cases = fn(jobs[i].options);
             if (r.cases.empty())
@@ -121,8 +147,12 @@ ScenarioPool::run(
 
         // Only successful scenarios are worth remembering; a failure
         // should re-run (and re-report) next time.
-        if (store && store->writesEnabled() && r.error.empty())
+        if (store && store->writesEnabled() && r.error.empty()) {
             store->store(key, cache::encodeCaseResult(r.cases));
+            if (col)
+                col->recordCacheEvent(obs::CacheEventKind::Store);
+        }
+        seal();
         emitReady(i);
     });
     if (emit_error)

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "cache/store.hh"
+#include "obs/collector.hh"
 #include "runner/sweep.hh"
 #include "workloads/suite.hh"
 
@@ -65,6 +66,13 @@ struct ScenarioResult
     SweepJob job;
     CaseResult cases;
     std::string error; //!< nonempty when the scenario failed
+
+    /**
+     * Observations gathered while this scenario executed; null when
+     * the job's obs options were all off. Cache-hit scenarios carry
+     * their cache events but no fabric runs (nothing simulated).
+     */
+    std::shared_ptr<const obs::ScenarioObs> obs;
 };
 
 class ScenarioPool

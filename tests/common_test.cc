@@ -155,12 +155,52 @@ TEST(Stats, FlattenPaths)
 {
     StatGroup root("root");
     root.counter("top") += 1;
-    root.child("a").counter("x") += 2;
-    root.child("a").child("b").counter("y") += 3;
+    auto &a = root.child("a");
+    a.counter("x") += 2;
+    a.child("b").counter("y") += 3;
     const auto flat = root.flatten();
     EXPECT_EQ(flat.at("top"), 1u);
     EXPECT_EQ(flat.at("a.x"), 2u);
     EXPECT_EQ(flat.at("a.b.y"), 3u);
+    EXPECT_EQ(&root.childAt("a"), &a);
+}
+
+TEST(Stats, RegistrationCollisionsPanic)
+{
+    // One component's stats must never silently merge into (or
+    // shadow) another's in the flat view: duplicate child names,
+    // counter/child name collisions, and '.'-forged paths all panic
+    // at registration.
+    StatGroup root("root");
+    root.child("a").counter("x") += 1;
+    EXPECT_THROW(root.child("a"), PanicError);
+    EXPECT_THROW(root.counter("a"), PanicError);
+    root.counter("n") += 1;
+    EXPECT_THROW(root.child("n"), PanicError);
+    EXPECT_THROW(root.counter("forged.path"), PanicError);
+    EXPECT_THROW(root.distribution("forged.path"), PanicError);
+    EXPECT_THROW(root.child("forged.path"), PanicError);
+    EXPECT_THROW(root.childAt("missing"), PanicError);
+    // Fetching an existing counter stays cheap and panic-free.
+    EXPECT_EQ(root.counter("n").value(), 1u);
+}
+
+TEST(Stats, VisitCountersWalksFlatPathsInOrder)
+{
+    StatGroup root("root");
+    root.counter("top") += 1;
+    auto &a = root.child("a");
+    a.counter("x") += 2;
+    a.child("b").counter("y") += 3;
+    std::vector<std::string> paths;
+    root.visitCounters(
+        [&](const std::string &path, const Counter &ctr) {
+            paths.push_back(path + "=" +
+                            std::to_string(ctr.value()));
+        });
+    const std::vector<std::string> expect = {"top=1", "a.x=2",
+                                             "a.b.y=3"};
+    EXPECT_EQ(paths, expect);
 }
 
 TEST(Stats, ResetAll)

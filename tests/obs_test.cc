@@ -1,0 +1,663 @@
+/**
+ * @file
+ * Observability-layer tests: the obs flag grammar and its cross-flag
+ * validation, cycle-sampler determinism across registration-shuffle
+ * seeds, the zero-perturbation guarantee (observed runs behave
+ * bit-identically to unobserved ones), engine-level byte-equality of
+ * all three artifacts across worker counts, Chrome-trace schema
+ * validity with per-track monotonic timestamps, and the structured
+ * stats dump round-trip against the in-memory profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cli/options.hh"
+#include "common/rng.hh"
+#include "core/fabric.hh"
+#include "engine/common_flags.hh"
+#include "engine/engine.hh"
+#include "engine/obs_report.hh"
+#include "kernels/spmm.hh"
+#include "obs/collector.hh"
+#include "obs/series.hh"
+#include "sparse/generate.hh"
+
+namespace canon
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Flag grammar.
+// ---------------------------------------------------------------------
+
+engine::FlagParse
+offer(const std::string &key, const std::string &value,
+      engine::CommonFlags &out)
+{
+    std::string err;
+    return engine::parseCommonFlag(key, value, out, err);
+}
+
+TEST(ObsFlags, RecognizedAsCommon)
+{
+    EXPECT_TRUE(engine::isCommonFlag("--sample-every"));
+    EXPECT_TRUE(engine::isCommonFlag("--series-out"));
+    EXPECT_TRUE(engine::isCommonFlag("--trace-out"));
+    EXPECT_TRUE(engine::isCommonFlag("--stats-json"));
+    EXPECT_FALSE(engine::isCommonFlag("--sample"));
+}
+
+TEST(ObsFlags, SampleEveryParsesAndRejects)
+{
+    engine::CommonFlags f;
+    EXPECT_EQ(offer("--sample-every", "50", f),
+              engine::FlagParse::Ok);
+    EXPECT_EQ(f.obs.sampleEvery, 50u);
+
+    for (const char *bad : {"0", "-3", "abc", "1000000001", ""}) {
+        engine::CommonFlags g;
+        std::string err;
+        EXPECT_EQ(engine::parseCommonFlag("--sample-every", bad, g,
+                                          err),
+                  engine::FlagParse::Error)
+            << "value '" << bad << "'";
+        EXPECT_FALSE(err.empty()) << "value '" << bad << "'";
+    }
+}
+
+TEST(ObsFlags, OutputPathsParseAndRejectEmpty)
+{
+    engine::CommonFlags f;
+    EXPECT_EQ(offer("--series-out", "s.csv", f),
+              engine::FlagParse::Ok);
+    EXPECT_EQ(offer("--trace-out", "t.json", f),
+              engine::FlagParse::Ok);
+    EXPECT_EQ(offer("--stats-json", "j.json", f),
+              engine::FlagParse::Ok);
+    EXPECT_EQ(f.obs.seriesOut, "s.csv");
+    EXPECT_EQ(f.obs.traceOut, "t.json");
+    EXPECT_EQ(f.obs.statsJsonOut, "j.json");
+
+    for (const char *key :
+         {"--series-out", "--trace-out", "--stats-json"}) {
+        engine::CommonFlags g;
+        EXPECT_EQ(offer(key, "", g), engine::FlagParse::Error)
+            << key;
+    }
+}
+
+TEST(ObsFlags, CrossValidation)
+{
+    // --series-out needs a cadence to sample at.
+    engine::CommonFlags f;
+    f.obs.seriesOut = "s.csv";
+    EXPECT_FALSE(engine::validateCommonFlags(f).empty());
+
+    // A cadence with no output requested samples into the void.
+    engine::CommonFlags g;
+    g.obs.sampleEvery = 10;
+    EXPECT_FALSE(engine::validateCommonFlags(g).empty());
+
+    // Cadence + any output flag is a valid combination.
+    engine::CommonFlags h;
+    h.obs.sampleEvery = 10;
+    h.obs.traceOut = "t.json";
+    EXPECT_TRUE(engine::validateCommonFlags(h).empty());
+
+    // Trace/stats dumps alone need no cadence.
+    engine::CommonFlags k;
+    k.obs.statsJsonOut = "j.json";
+    EXPECT_TRUE(engine::validateCommonFlags(k).empty());
+}
+
+TEST(ObsOptions, DisabledByDefault)
+{
+    const obs::ObsOptions opt;
+    EXPECT_FALSE(opt.enabled());
+    EXPECT_FALSE(opt.sampling());
+    EXPECT_FALSE(opt.wantFlatStats());
+}
+
+// ---------------------------------------------------------------------
+// Sampler determinism and zero perturbation on a live fabric.
+// ---------------------------------------------------------------------
+
+struct ObservedRun
+{
+    Cycle cycles = 0;
+    WordMatrix result;
+    std::map<std::string, std::uint64_t> flat;
+    std::uint64_t macOps = 0;
+    std::shared_ptr<const obs::ScenarioObs> obs;
+};
+
+/**
+ * One sampled SpMM execution under a registration shuffle. The
+ * workload is fixed; only the shuffle seed and the observation
+ * options vary.
+ */
+ObservedRun
+sampledRun(std::uint64_t shuffle_seed, bool observe)
+{
+    CanonConfig cfg;
+    cfg.rows = 2;
+    cfg.cols = 2;
+    cfg.spadEntries = 4;
+    Rng rng(77);
+    const auto a = randomSparse(32, 16, 0.5, rng);
+    const auto b = randomDense(16, 8, rng);
+
+    obs::ObsOptions opt;
+    opt.sampleEvery = 25;
+    opt.seriesOut = "unused.csv"; // never written; writers not called
+    opt.statsJsonOut = "unused.json";
+
+    ObservedRun out;
+    CanonFabric fabric(cfg, shuffle_seed);
+    fabric.load(mapSpmm(CsrMatrix::fromDense(a), b, cfg));
+    if (observe) {
+        obs::Collector col(opt);
+        obs::ScopedCollector scope(col);
+        out.cycles = fabric.run();
+        out.obs = col.finish();
+    } else {
+        out.cycles = fabric.run();
+    }
+    out.result = fabric.result();
+    out.flat = fabric.stats().flatten();
+    out.macOps = fabric.stats().sumCounter("macOps");
+    return out;
+}
+
+TEST(Sampler, SeriesIdenticalAcrossRegistrationShuffles)
+{
+    const auto ref = sampledRun(0, true);
+    ASSERT_EQ(ref.obs->runs.size(), 1u);
+    ASSERT_FALSE(ref.obs->runs[0].series.empty());
+    for (std::uint64_t seed : {1ull, 12345ull}) {
+        const auto got = sampledRun(seed, true);
+        EXPECT_EQ(got.cycles, ref.cycles) << "seed " << seed;
+        ASSERT_EQ(got.obs->runs.size(), 1u);
+        EXPECT_EQ(got.obs->runs[0].series, ref.obs->runs[0].series)
+            << "seed " << seed;
+        EXPECT_EQ(got.obs->runs[0].flat, ref.obs->runs[0].flat)
+            << "seed " << seed;
+    }
+}
+
+TEST(Sampler, SeriesShapeAndCumulativeValues)
+{
+    const auto run = sampledRun(0, true);
+    const auto &set = run.obs->runs[0].series;
+
+    // Probes include the fabric-wide rollup and each orchestrator.
+    bool saw_fabric = false, saw_orch = false;
+    for (const auto &s : set.series) {
+        saw_fabric |= s.component == "fabric";
+        saw_orch |= s.component.rfind("orch", 0) == 0;
+
+        // Every series shares the cadence: samples at multiples of 25
+        // plus one final partial-interval sample at run end.
+        ASSERT_FALSE(s.points.empty()) << s.metric;
+        for (std::size_t i = 0; i < s.points.size(); ++i) {
+            const auto &p = s.points[i];
+            if (i + 1 < s.points.size())
+                EXPECT_EQ(p.cycle % 25, 0u) << s.metric;
+            else
+                EXPECT_EQ(p.cycle, run.cycles) << s.metric;
+            if (i > 0) {
+                EXPECT_GT(p.cycle, s.points[i - 1].cycle);
+                // Cumulative counters never decrease.
+                EXPECT_GE(p.value, s.points[i - 1].value)
+                    << s.metric << "@" << p.cycle;
+            }
+        }
+    }
+    EXPECT_TRUE(saw_fabric);
+    EXPECT_TRUE(saw_orch);
+
+    // The fabric macOps series must end at the counter's final value.
+    for (const auto &s : set.series)
+        if (s.metric == "macOps" && s.component == "fabric")
+            EXPECT_EQ(s.points.back().value, run.macOps);
+}
+
+TEST(Sampler, ObservationDoesNotPerturbTheRun)
+{
+    // The observed execution is bit-identical to the unobserved one:
+    // same cycle count, same result matrix, same final stats.
+    const auto off = sampledRun(0, false);
+    const auto on = sampledRun(0, true);
+    EXPECT_EQ(off.cycles, on.cycles);
+    EXPECT_EQ(off.result, on.result);
+    EXPECT_EQ(off.flat, on.flat);
+    EXPECT_EQ(off.obs, nullptr);
+    EXPECT_EQ(obs::current(), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// A minimal JSON reader (enough for the two documents we emit).
+// ---------------------------------------------------------------------
+
+struct Json
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Num,
+        Str,
+        Arr,
+        Obj
+    };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double num = 0;
+    std::string str;
+    std::vector<Json> arr;
+    std::map<std::string, Json> obj;
+
+    bool has(const std::string &k) const { return obj.count(k) != 0; }
+    const Json &
+    at(const std::string &k) const
+    {
+        auto it = obj.find(k);
+        if (it == obj.end())
+            throw std::runtime_error("missing key: " + k);
+        return it->second;
+    }
+};
+
+class JsonReader
+{
+  public:
+    explicit JsonReader(const std::string &text) : s_(text) {}
+
+    Json
+    parse()
+    {
+        Json v = value();
+        ws();
+        if (i_ != s_.size())
+            throw std::runtime_error("trailing JSON garbage");
+        return v;
+    }
+
+  private:
+    void
+    ws()
+    {
+        while (i_ < s_.size() &&
+               (s_[i_] == ' ' || s_[i_] == '\n' || s_[i_] == '\t' ||
+                s_[i_] == '\r'))
+            ++i_;
+    }
+
+    char
+    peek()
+    {
+        if (i_ >= s_.size())
+            throw std::runtime_error("unexpected end of JSON");
+        return s_[i_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            throw std::runtime_error(std::string("expected '") + c +
+                                     "' at offset " +
+                                     std::to_string(i_));
+        ++i_;
+    }
+
+    Json
+    value()
+    {
+        ws();
+        switch (peek()) {
+        case '{':
+            return object();
+        case '[':
+            return array();
+        case '"': {
+            Json v;
+            v.kind = Json::Kind::Str;
+            v.str = string();
+            return v;
+        }
+        case 't':
+        case 'f': {
+            Json v;
+            v.kind = Json::Kind::Bool;
+            v.boolean = peek() == 't';
+            i_ += v.boolean ? 4 : 5;
+            return v;
+        }
+        case 'n':
+            i_ += 4;
+            return Json{};
+        default:
+            return number();
+        }
+    }
+
+    Json
+    object()
+    {
+        expect('{');
+        Json v;
+        v.kind = Json::Kind::Obj;
+        ws();
+        if (peek() == '}') {
+            ++i_;
+            return v;
+        }
+        while (true) {
+            ws();
+            std::string key = string();
+            ws();
+            expect(':');
+            v.obj.emplace(std::move(key), value());
+            ws();
+            if (peek() == ',') {
+                ++i_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Json
+    array()
+    {
+        expect('[');
+        Json v;
+        v.kind = Json::Kind::Arr;
+        ws();
+        if (peek() == ']') {
+            ++i_;
+            return v;
+        }
+        while (true) {
+            v.arr.push_back(value());
+            ws();
+            if (peek() == ',') {
+                ++i_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (peek() != '"') {
+            char c = s_[i_++];
+            if (c == '\\') {
+                char e = s_[i_++];
+                switch (e) {
+                case 'n':
+                    out += '\n';
+                    break;
+                case 't':
+                    out += '\t';
+                    break;
+                case 'r':
+                    out += '\r';
+                    break;
+                case 'u':
+                    i_ += 4; // control chars; tests never compare them
+                    out += '?';
+                    break;
+                default:
+                    out += e; // '"', '\\', '/'
+                }
+            } else {
+                out += c;
+            }
+        }
+        ++i_;
+        return out;
+    }
+
+    Json
+    number()
+    {
+        std::size_t start = i_;
+        while (i_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[i_])) ||
+                s_[i_] == '-' || s_[i_] == '+' || s_[i_] == '.' ||
+                s_[i_] == 'e' || s_[i_] == 'E'))
+            ++i_;
+        if (i_ == start)
+            throw std::runtime_error("bad JSON number");
+        Json v;
+        v.kind = Json::Kind::Num;
+        v.num = std::stod(s_.substr(start, i_ - start));
+        return v;
+    }
+
+    const std::string &s_;
+    std::size_t i_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Engine-level artifact determinism and schema checks.
+// ---------------------------------------------------------------------
+
+/** A small 3-point sparsity sweep with every obs output requested. */
+engine::ScenarioRequest
+obsSweepRequest()
+{
+    cli::Options opt;
+    opt.m = 32;
+    opt.k = 16;
+    opt.n = 8;
+    opt.rows = 2;
+    opt.cols = 2;
+    opt.spadEntries = 4;
+    opt.sweepAxes.emplace_back("sparsity", "0.3,0.5,0.8");
+    opt.common.obs.sampleEvery = 50;
+    opt.common.obs.seriesOut = "unused-s.csv";
+    opt.common.obs.traceOut = "unused-t.json";
+    opt.common.obs.statsJsonOut = "unused-j.json";
+    return engine::ScenarioRequest::fromOptions(opt);
+}
+
+struct Artifacts
+{
+    std::string series, trace, stats;
+};
+
+Artifacts
+renderArtifacts(const engine::ResultSet &rs)
+{
+    Artifacts a;
+    std::ostringstream os;
+    rs.obs().writeSeriesCsv(os);
+    a.series = os.str();
+    os.str("");
+    rs.obs().writeTrace(os);
+    a.trace = os.str();
+    os.str("");
+    rs.obs().writeStatsJson(os);
+    a.stats = os.str();
+    return a;
+}
+
+TEST(ObsReport, ArtifactsByteIdenticalAcrossJobs)
+{
+    engine::Engine one(engine::EngineConfig{.jobs = 1});
+    engine::Engine four(engine::EngineConfig{.jobs = 4});
+    const auto rs1 = one.run(obsSweepRequest());
+    const auto rs4 = four.run(obsSweepRequest());
+    ASSERT_TRUE(rs1.ok()) << rs1.error();
+    ASSERT_TRUE(rs4.ok()) << rs4.error();
+    ASSERT_TRUE(rs1.obs().enabled());
+
+    const auto a1 = renderArtifacts(rs1);
+    const auto a4 = renderArtifacts(rs4);
+    EXPECT_EQ(a1.series, a4.series);
+    EXPECT_EQ(a1.trace, a4.trace);
+    EXPECT_EQ(a1.stats, a4.stats);
+
+    // Every scenario was observed (no cache, so all three executed).
+    ASSERT_EQ(rs1.obs().scenarios().size(), 3u);
+    for (const auto &s : rs1.obs().scenarios()) {
+        ASSERT_NE(s.obs, nullptr) << s.index;
+        EXPECT_FALSE(s.obs->runs.empty()) << s.index;
+    }
+}
+
+TEST(ObsReport, SeriesCsvShape)
+{
+    engine::Engine eng(engine::EngineConfig{.jobs = 2});
+    const auto rs = eng.run(obsSweepRequest());
+    ASSERT_TRUE(rs.ok()) << rs.error();
+    std::ostringstream os;
+    rs.obs().writeSeriesCsv(os);
+    std::istringstream in(os.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "scenario,pass,metric,component,cycle,value");
+    std::size_t rows = 0;
+    while (std::getline(in, line)) {
+        ++rows;
+        // scenario index is the leading field of every data row.
+        EXPECT_TRUE(std::isdigit(
+            static_cast<unsigned char>(line.front())))
+            << line;
+        EXPECT_EQ(std::count(line.begin(), line.end(), ','), 5)
+            << line;
+    }
+    EXPECT_GT(rows, 0u);
+}
+
+TEST(ObsReport, TraceIsValidJsonWithMonotonicTimestamps)
+{
+    engine::Engine eng(engine::EngineConfig{.jobs = 2});
+    const auto rs = eng.run(obsSweepRequest());
+    ASSERT_TRUE(rs.ok()) << rs.error();
+    std::ostringstream os;
+    rs.obs().writeTrace(os);
+
+    Json doc = JsonReader(os.str()).parse();
+    ASSERT_EQ(doc.kind, Json::Kind::Obj);
+    EXPECT_EQ(doc.at("otherData").at("schema").str, "canon-trace-1");
+    EXPECT_EQ(doc.at("displayTimeUnit").str, "ms");
+
+    const auto &events = doc.at("traceEvents");
+    ASSERT_EQ(events.kind, Json::Kind::Arr);
+    ASSERT_FALSE(events.arr.empty());
+
+    std::map<std::pair<double, double>, double> last_ts;
+    std::size_t spans = 0, counters = 0;
+    for (const auto &e : events.arr) {
+        const std::string &ph = e.at("ph").str;
+        ASSERT_TRUE(ph == "M" || ph == "X" || ph == "i" || ph == "C")
+            << ph;
+        EXPECT_FALSE(e.at("name").str.empty());
+        if (ph == "M")
+            continue;
+        spans += ph == "X";
+        counters += ph == "C";
+        if (ph == "X")
+            EXPECT_GE(e.at("dur").num, 0.0);
+        if (ph == "i")
+            EXPECT_EQ(e.at("s").str, "t");
+        const auto key = std::pair{e.at("pid").num, e.at("tid").num};
+        const double ts = e.at("ts").num;
+        auto it = last_ts.find(key);
+        if (it != last_ts.end())
+            EXPECT_GE(ts, it->second)
+                << "track (" << key.first << "," << key.second
+                << ") went backwards";
+        last_ts[key] = ts;
+    }
+    // Per scenario: one "scenario N" span plus one "sim.run" span.
+    EXPECT_EQ(spans, 6u);
+    EXPECT_GT(counters, 0u);
+}
+
+TEST(ObsReport, StatsJsonRoundTripsAgainstProfiles)
+{
+    engine::Engine eng(engine::EngineConfig{.jobs = 2});
+    const auto rs = eng.run(obsSweepRequest());
+    ASSERT_TRUE(rs.ok()) << rs.error();
+    std::ostringstream os;
+    rs.obs().writeStatsJson(os);
+
+    Json doc = JsonReader(os.str()).parse();
+    EXPECT_EQ(doc.at("schema").str, "canon.stats.v1");
+    const auto &scenarios = doc.at("scenarios");
+    ASSERT_EQ(scenarios.arr.size(), rs.scenarios().size());
+
+    for (std::size_t i = 0; i < scenarios.arr.size(); ++i) {
+        const Json &s = scenarios.arr[i];
+        EXPECT_EQ(static_cast<std::size_t>(s.at("index").num), i);
+        const auto &archs = s.at("archs").arr;
+        ASSERT_FALSE(archs.empty()) << i;
+
+        // The dumped cycles must match the in-memory profile.
+        const auto &cases = rs.scenarios()[i].cases;
+        for (const Json &a : archs) {
+            const auto &prof = cases.at(a.at("arch").str);
+            EXPECT_EQ(
+                static_cast<std::uint64_t>(a.at("cycles").num),
+                prof.cycles);
+        }
+
+        // Executed scenarios carry the flat sim stats.
+        const auto &runs = s.at("sim").at("runs").arr;
+        ASSERT_FALSE(runs.empty()) << i;
+        EXPECT_GT(runs[0].at("cycles").num, 0.0);
+        EXPECT_FALSE(runs[0].at("stats").obj.empty());
+    }
+}
+
+TEST(ObsReport, DisabledRequestYieldsNoObservations)
+{
+    cli::Options opt;
+    opt.m = 16;
+    opt.k = 16;
+    opt.n = 8;
+    opt.rows = 2;
+    opt.cols = 2;
+    opt.spadEntries = 4;
+    engine::Engine eng(engine::EngineConfig{.jobs = 1});
+    const auto rs =
+        eng.run(engine::ScenarioRequest::fromOptions(opt));
+    ASSERT_TRUE(rs.ok()) << rs.error();
+    EXPECT_FALSE(rs.obs().enabled());
+    ASSERT_EQ(rs.scenarios().size(), 1u);
+    EXPECT_EQ(rs.scenarios()[0].obs, nullptr);
+
+    // Disabled writers emit nothing and write no files.
+    std::ostringstream os;
+    rs.obs().writeSeriesCsv(os);
+    rs.obs().writeTrace(os);
+    rs.obs().writeStatsJson(os);
+    EXPECT_TRUE(os.str().empty());
+    EXPECT_TRUE(rs.obs().writeOutputs().empty());
+}
+
+} // namespace
+} // namespace canon

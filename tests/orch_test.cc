@@ -306,8 +306,8 @@ TEST(SpmmFsm, Case3ImbalanceCausesBypass)
     fabric.run();
 
     const auto fwd =
-        fabric.stats().child("orch1").sumCounter("fwdAhead") +
-        fabric.stats().child("orch1").sumCounter("fwdBehind");
+        fabric.stats().childAt("orch1").sumCounter("fwdAhead") +
+        fabric.stats().childAt("orch1").sumCounter("fwdBehind");
     EXPECT_GT(fwd, 0u) << "row 1 should have bypassed late psums";
     EXPECT_EQ(fabric.result(), reference::spmm(csr, b));
 }

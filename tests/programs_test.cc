@@ -37,7 +37,7 @@ TEST(CadenceFsm, FlushEveryCadence)
     // Row 0 sends only its own flushes; row 1 additionally relays
     // nothing when merges succeed.
     const auto row0 =
-        fabric.stats().child("orch0").sumCounter("msgsSent");
+        fabric.stats().childAt("orch0").sumCounter("msgsSent");
     EXPECT_EQ(row0, static_cast<std::uint64_t>(m));
 }
 

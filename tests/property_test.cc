@@ -82,11 +82,11 @@ TEST(TimeLapsed, ColumnsReplicateColumnZeroDelayed)
     // The stronger check: identical MAC counts per column of a row
     // (same instruction stream), with stagger absorbed by run length.
     const auto macs0 =
-        fabric.stats().child("pe0_0").sumCounter("macOps");
+        fabric.stats().childAt("pe0_0").sumCounter("macOps");
     for (int c = 1; c < cfg.cols; ++c) {
         const auto macs =
             fabric.stats()
-                .child("pe0_" + std::to_string(c))
+                .childAt("pe0_" + std::to_string(c))
                 .sumCounter("macOps");
         EXPECT_EQ(macs, macs0) << "column " << c;
     }
