@@ -92,6 +92,29 @@ canonSpmm16x16Throughput()
 }
 
 Measurement
+canonResident2048Throughput()
+{
+    // The resident-row scaling point: 2048 in-flight output rows on
+    // a 16x16 fabric under --spad-flush adaptive, the regime the
+    // lifted proxy cap (kMinProxyRowsAdaptive) runs in. Work/Iter
+    // pins the flattened cost curve: a drift here means the adaptive
+    // policy's cycle behaviour changed.
+    CanonConfig cfg;
+    cfg.rows = 16;
+    cfg.cols = 16;
+    cfg.spadFlush = SpadFlushPolicy::Adaptive;
+    Rng rng(1);
+    const auto a = randomSparse(2048, 128, 0.7, rng);
+    const auto b = randomDense(128, cfg.cols * kSimdWidth, rng);
+    const auto mapping = mapSpmm(CsrMatrix::fromDense(a), b, cfg);
+    return timeLoop(4, "sim-cycles/s", [&]() {
+        CanonFabric fabric(cfg);
+        fabric.load(mapping);
+        return static_cast<double>(fabric.run());
+    });
+}
+
+Measurement
 systolicThroughput(int n)
 {
     Rng rng(2);
@@ -149,8 +172,9 @@ simThroughputBench()
     t.csvName = "sim_throughput.csv";
     t.grid.axis("case",
                 {"canon-spmm-s10", "canon-spmm-s50", "canon-spmm-s90",
-                 "canon-spmm-16x16", "systolic-16", "systolic-32",
-                 "lut-compile", "cgra-mapper"});
+                 "canon-spmm-16x16", "canon-resident-2048",
+                 "systolic-16", "systolic-32", "lut-compile",
+                 "cgra-mapper"});
     t.emit = [](const FigurePoint &p) -> FigureRows {
         Measurement m;
         switch (p.digits[0]) {
@@ -167,12 +191,15 @@ simThroughputBench()
             m = canonSpmm16x16Throughput();
             break;
           case 4:
-            m = systolicThroughput(16);
+            m = canonResident2048Throughput();
             break;
           case 5:
-            m = systolicThroughput(32);
+            m = systolicThroughput(16);
             break;
           case 6:
+            m = systolicThroughput(32);
+            break;
+          case 7:
             m = lutCompileThroughput();
             break;
           default:

@@ -1,17 +1,18 @@
 /**
  * @file
  * Measure the per-resident-row cycle cost curve that justifies the
- * proxy-row cap (kMinProxyRows / effectiveProxyRows) in the
- * CanonRunner scaling model.
+ * proxy-row caps (kMinProxyRows / kMinProxyRowsAdaptive /
+ * effectiveProxyRows) in the CanonRunner scaling model.
  *
  * For 16x16 and 32x32 fabrics, this drives a large synthetic SpMM
  * through CanonRunner with explicit CanonRunOptions::maxProxyRows
- * overrides, so each run simulates exactly that many output rows. A
- * Collector from the obs layer is installed around each run: the
- * scaling model reports *scaled* cycles, but FabricRunObs records the
- * raw simulated cycles of the proxy itself, which is what the per-row
- * cost is defined over. The flat stats of the same observation give
- * the scratchpad cap-pressure share that explains the knee.
+ * overrides, under both scratchpad flush policies (--spad-flush
+ * eager | adaptive). A Collector from the obs layer is installed
+ * around each run: the scaling model reports *scaled* cycles, but
+ * FabricRunObs records the raw simulated cycles of the proxy itself,
+ * which is what the per-row cost is defined over. The flat stats of
+ * the same observation give the scratchpad cap-pressure share that
+ * explains the shape of each curve.
  *
  * Output: an aligned table on stdout and resident_rows.csv in the
  * CWD (consumed by docs/resident_rows.md).
@@ -39,11 +40,12 @@ struct Measurement
 };
 
 Measurement
-measure(int fabric, int resident_rows)
+measure(int fabric, int resident_rows, canon::SpadFlushPolicy flush)
 {
     canon::CanonConfig cfg;
     cfg.rows = fabric;
     cfg.cols = fabric;
+    cfg.spadFlush = flush;
 
     canon::CanonRunOptions opt;
     opt.maxProxyRows = resident_rows;
@@ -97,27 +99,36 @@ main()
 {
     const int fabrics[] = {16, 32};
     const int caps[] = {256, 512, 1024, 2048, 4096};
+    const canon::SpadFlushPolicy policies[] = {
+        canon::SpadFlushPolicy::Eager,
+        canon::SpadFlushPolicy::Adaptive};
 
     std::ofstream csv("resident_rows.csv");
-    csv << "fabric,resident_rows,cycles,cycles_per_row,"
+    csv << "flush,fabric,resident_rows,cycles,cycles_per_row,"
            "spad_cap_pct\n";
 
-    std::cout << std::setw(8) << "fabric" << std::setw(10) << "rows"
-              << std::setw(12) << "cycles" << std::setw(12)
-              << "cyc/row" << std::setw(12) << "spadCap%" << "\n";
-    for (int fabric : fabrics) {
-        for (int cap : caps) {
-            const auto m = measure(fabric, cap);
-            std::cout << std::setw(8) << m.fabric << std::setw(10)
-                      << m.residentRows << std::setw(12) << m.cycles
-                      << std::setw(12) << std::fixed
-                      << std::setprecision(2) << m.perRow
-                      << std::setw(12) << std::setprecision(1)
-                      << m.spadCapPct << "\n";
-            csv << m.fabric << ',' << m.residentRows << ','
-                << m.cycles << ',' << std::fixed
-                << std::setprecision(4) << m.perRow << ','
-                << std::setprecision(2) << m.spadCapPct << '\n';
+    std::cout << std::setw(10) << "flush" << std::setw(8) << "fabric"
+              << std::setw(10) << "rows" << std::setw(12) << "cycles"
+              << std::setw(12) << "cyc/row" << std::setw(12)
+              << "spadCap%" << "\n";
+    for (auto flush : policies) {
+        for (int fabric : fabrics) {
+            for (int cap : caps) {
+                const auto m = measure(fabric, cap, flush);
+                std::cout << std::setw(10)
+                          << canon::spadFlushName(flush)
+                          << std::setw(8) << m.fabric << std::setw(10)
+                          << m.residentRows << std::setw(12)
+                          << m.cycles << std::setw(12) << std::fixed
+                          << std::setprecision(2) << m.perRow
+                          << std::setw(12) << std::setprecision(1)
+                          << m.spadCapPct << "\n";
+                csv << canon::spadFlushName(flush) << ',' << m.fabric
+                    << ',' << m.residentRows << ',' << m.cycles << ','
+                    << std::fixed << std::setprecision(4) << m.perRow
+                    << ',' << std::setprecision(2) << m.spadCapPct
+                    << '\n';
+            }
         }
     }
     std::cout << "\nwrote resident_rows.csv\n";

@@ -80,7 +80,8 @@ scenarioKey(const cli::Options &opt)
     // --clock-ghz is deliberately absent: it is applied to the
     // stored profiles at rendering time (time/energy/power cells),
     // so one entry serves every clock.
-    for (const char *k : {"rows", "cols", "spad", "dmem"})
+    for (const char *k :
+         {"rows", "cols", "spad", "tag-banks", "spad-flush", "dmem"})
         key.canonical +=
             " " + std::string(k) + "=" + cli::optionValueText(opt, k);
 

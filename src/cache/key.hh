@@ -52,8 +52,14 @@ namespace cache
  * v2: canon profiles grew the scratchpad occupancy probe counters
  * (tagCompares, spadResidentSum, spadCapCycles); entries cached at
  * v1 would replay without them.
+ *
+ * v3: the fabric grew the --tag-banks / --spad-flush policy axes
+ * (banked tag search, occupancy-adaptive flush) and scenario keys
+ * fold them in; under the adaptive policy the derived proxy-row cap
+ * is also larger, so cycles/activity of derived-cap scenarios differ
+ * from v2 entries.
  */
-inline constexpr int kSchemaVersion = 2;
+inline constexpr int kSchemaVersion = 3;
 
 struct ScenarioKey
 {

@@ -174,6 +174,14 @@ applyScenarioOption(Options &opt, const std::string &key,
         return smallIntArg(opt.cols, 1, 1024);
     if (key == "spad")
         return smallIntArg(opt.spadEntries, 1, 65536);
+    if (key == "tag-banks")
+        return smallIntArg(opt.tagBanks, 1, 64);
+    if (key == "spad-flush") {
+        if (!parseSpadFlush(value, opt.spadFlush))
+            return "option '--spad-flush' expects eager | adaptive,"
+                   " got '" + value + "'";
+        return {};
+    }
     if (key == "dmem")
         return smallIntArg(opt.dmemSlots, 1, 1 << 26);
     if (key == "clock-ghz") {
@@ -194,6 +202,8 @@ Options::fabricConfig() const
     cfg.rows = rows;
     cfg.cols = cols;
     cfg.spadEntries = spadEntries;
+    cfg.tagBanks = tagBanks;
+    cfg.spadFlush = spadFlush;
     cfg.dmemSlots = dmemSlots;
     cfg.clockGhz = clockGhz;
     return cfg;
@@ -245,7 +255,8 @@ const std::vector<std::string> &
 fabricOptionKeys()
 {
     static const std::vector<std::string> keys = {
-        "rows", "cols", "spad", "dmem", "clock-ghz"};
+        "rows",      "cols", "spad",     "tag-banks",
+        "spad-flush", "dmem", "clock-ghz"};
     return keys;
 }
 
@@ -333,6 +344,10 @@ optionValueText(const Options &opt, const std::string &key)
         return std::to_string(opt.cols);
     if (key == "spad")
         return std::to_string(opt.spadEntries);
+    if (key == "tag-banks")
+        return std::to_string(opt.tagBanks);
+    if (key == "spad-flush")
+        return spadFlushName(opt.spadFlush);
     if (key == "dmem")
         return std::to_string(opt.dmemSlots);
     if (key == "clock-ghz")
@@ -382,6 +397,16 @@ usageText()
         "  --cols N          PE columns (default 8)\n"
         "  --spad N          scratchpad depth in psum entries"
         " (default 16)\n"
+        "  --tag-banks N     associative-search banks of the psum-tag\n"
+        "                    buffer in [1, 64] (default 1 = the flat\n"
+        "                    CAM-style linear probe; results are\n"
+        "                    identical, tag compares per probe drop\n"
+        "                    ~N-fold)\n"
+        "  --spad-flush P    eager | adaptive (default eager =\n"
+        "                    flush-at-cap; adaptive drains at a\n"
+        "                    high-water mark and paces psum merges so\n"
+        "                    per-row cost stays flat at high resident\n"
+        "                    row counts, enabling a larger proxy cap)\n"
         "  --dmem N          data-memory Vec4 slots per PE"
         " (default 1024)\n"
         "  --clock-ghz F     clock for power reporting"
@@ -457,9 +482,10 @@ scenarioOptionKeys()
     // accepts appears here, in canonical order. The engine registry
     // drift test round-trips each key through the grammar.
     static const std::vector<std::string> keys = {
-        "workload", "model",  "m",    "k",    "n",
-        "sparsity", "nm",     "window", "seed", "rows",
-        "cols",     "spad",   "dmem", "clock-ghz"};
+        "workload",   "model", "m",         "k",
+        "n",          "sparsity", "nm",     "window",
+        "seed",       "rows",  "cols",      "spad",
+        "tag-banks",  "spad-flush", "dmem", "clock-ghz"};
     return keys;
 }
 

@@ -61,6 +61,8 @@ struct Options
     int rows = 8;
     int cols = 8;
     int spadEntries = 16;
+    int tagBanks = 1; //!< associative-search banks in the tag fifo
+    SpadFlushPolicy spadFlush = SpadFlushPolicy::Eager;
     int dmemSlots = 1024;
     double clockGhz = 1.0;
 
@@ -115,9 +117,9 @@ struct Options
  * @p opt. This is the single grammar shared by parseArgs and the
  * sweep-axis validation in runner::SweepSpec: every key that can be
  * swept is exactly a key this function accepts (workload, model, m,
- * k, n, sparsity, nm, window, seed, rows, cols, spad, dmem,
- * clock-ghz). Returns an empty string on success, otherwise the
- * error message.
+ * k, n, sparsity, nm, window, seed, rows, cols, spad, tag-banks,
+ * spad-flush, dmem, clock-ghz). Returns an empty string on success,
+ * otherwise the error message.
  */
 std::string applyScenarioOption(Options &opt, const std::string &key,
                                 const std::string &value);
@@ -160,8 +162,8 @@ const std::vector<std::string> &knownArchs();
 // --nm was set to.
 
 /**
- * Fabric keys relevant to every scenario (rows, cols, spad, dmem,
- * clock-ghz).
+ * Fabric keys relevant to every scenario (rows, cols, spad,
+ * tag-banks, spad-flush, dmem, clock-ghz).
  */
 const std::vector<std::string> &fabricOptionKeys();
 

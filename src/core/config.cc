@@ -14,6 +14,10 @@ CanonConfig::describe() const
        << dmemBytesPerPe() / 1024 << "KB dmem/PE, " << spadEntries
        << "-entry scratchpad (" << spadBytesPerPe() << "B), " << rows
        << " orchestrators, " << clockGhz << " GHz";
+    if (tagBanks != 1)
+        os << ", " << tagBanks << "-bank tag search";
+    if (spadFlush != SpadFlushPolicy::Eager)
+        os << ", " << spadFlushName(spadFlush) << " flush";
     return os.str();
 }
 

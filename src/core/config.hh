@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/types.hh"
+#include "orch/policy.hh"
 
 namespace canon
 {
@@ -26,6 +27,15 @@ struct CanonConfig
     int spadEntries = 16;  //!< scratchpad depth in Vec4 psum entries
     int dmemSlots = 1024;  //!< data memory in Vec4<INT8> slots (4 KB)
     double clockGhz = 1.0;
+
+    /** Associative-search banks of the psum-tag buffer (orch/policy,
+     *  tag_fifo): 1 is the paper's flat CAM-style linear probe. */
+    int tagBanks = 1;
+
+    /** Scratchpad flush policy (orch/policy.hh): eager is the paper's
+     *  flush-at-cap; adaptive drains at a high-water mark and paces
+     *  merge traffic so resident-row cost stays flat at scale. */
+    SpadFlushPolicy spadFlush = SpadFlushPolicy::Eager;
 
     /** The evaluated configuration of Table 1. */
     static CanonConfig

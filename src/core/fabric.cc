@@ -21,6 +21,9 @@ CanonFabric::CanonFabric(const CanonConfig &cfg,
             " unsupported");
     fatalIf(cfg_.dmemSlots <= 0 || cfg_.dmemSlots > addrspace::kDmemSize,
             "CanonFabric: dmem slots ", cfg_.dmemSlots, " unsupported");
+    fatalIf(cfg_.tagBanks <= 0,
+            "CanonFabric: tag banks must be positive, got ",
+            cfg_.tagBanks);
 
     // Channels first so PEs can bind to them.
     vert_.resize(cfg_.rows + 1);
@@ -67,7 +70,7 @@ CanonFabric::CanonFabric(const CanonConfig &cfg,
         auto &orch_stats = stats_.child("orch" + std::to_string(r));
         auto orch = std::make_unique<Orchestrator>(
             "orch" + std::to_string(r), cfg_.spadEntries, orch_stats,
-            sim_);
+            sim_, OrchPolicy{cfg_.tagBanks, cfg_.spadFlush});
         orch->bindPipeline(pipes_.back().get());
         orch->bindWestChannel(horiz_[r][0].get());
         orch->bindMsgIn(msg_[r].get());
@@ -129,6 +132,14 @@ CanonFabric::pe(int r, int c)
 
 Orchestrator &
 CanonFabric::orch(int r)
+{
+    panicIf(r < 0 || r >= cfg_.rows, "CanonFabric::orch(", r,
+            ") out of range");
+    return *orchs_[r];
+}
+
+const Orchestrator &
+CanonFabric::orch(int r) const
 {
     panicIf(r < 0 || r >= cfg_.rows, "CanonFabric::orch(", r,
             ") out of range");

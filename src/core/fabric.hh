@@ -94,6 +94,7 @@ class CanonFabric
     // ---- introspection ------------------------------------------------
     Pe &pe(int r, int c);
     Orchestrator &orch(int r);
+    const Orchestrator &orch(int r) const;
     StatGroup &stats() { return stats_; }
 
     /** Lane-MAC utilization: useful MAC lanes / (lanes * cycles). */

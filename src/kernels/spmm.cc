@@ -45,6 +45,7 @@ buildSpmmProgram()
     const int mm_forward = prog->addMsgMode(MsgMode::forward());
 
     prog->setTagSel(ValueSel::InputValue); // RowEnd carries the RID
+    prog->setMergeMsgId(kMsgPsum); // psums merge against the queue
     prog->setInitialState(st::kMac);
     prog->setDoneState(st::kDone);
 

@@ -4,8 +4,14 @@ namespace canon
 {
 
 Orchestrator::Orchestrator(std::string name, int spad_capacity,
-                           StatGroup &stats, const Simulator &sim)
-    : name_(std::move(name)), fifo_(spad_capacity, stats), sim_(sim),
+                           StatGroup &stats, const Simulator &sim,
+                           const OrchPolicy &policy)
+    : name_(std::move(name)),
+      fifo_(spad_capacity, stats, policy.tagBanks), sim_(sim),
+      flushPolicy_(policy.spadFlush),
+      flushThreshold_(policy.spadFlush == SpadFlushPolicy::Adaptive
+                          ? spadHighWaterMark(spad_capacity - 1)
+                          : spad_capacity - 1),
       lutLookups_(stats.counter("lutLookups")),
       instIssued_(stats.counter("instIssued")),
       macIssued_(stats.counter("macIssued")),
@@ -28,6 +34,7 @@ Orchestrator::loadProgram(const OrchProgram *prog)
     prog_ = prog;
     state_ = prog->initialState();
     meta_[0] = meta_[1] = 0;
+    rowCursor_ = -1;
     fifo_.reset();
 }
 
@@ -45,7 +52,7 @@ Orchestrator::done() const
 
 bool
 Orchestrator::evalPredicate(Predicate p, const MetaToken &token,
-                            const OrchMsg &msg, bool msg_valid) const
+                            const OrchMsg &msg, bool msg_valid)
 {
     switch (p) {
       case Predicate::False:
@@ -63,7 +70,9 @@ Orchestrator::evalPredicate(Predicate p, const MetaToken &token,
       case Predicate::MsgTagManaged:
         return msg_valid && fifo_.search(msg.value).has_value();
       case Predicate::BufferAtCap:
-        return fifo_.atResidentCap();
+        // Eager: the hard resident cap. Adaptive: the high-water
+        // mark, so flush rules engage while headroom remains.
+        return fifo_.size() >= flushThreshold_;
       case Predicate::BufferEmpty:
         return fifo_.empty();
       case Predicate::MsgValueEqMeta0:
@@ -87,7 +96,7 @@ Orchestrator::evalPredicate(Predicate p, const MetaToken &token,
 
 std::uint8_t
 Orchestrator::condBits(const MetaToken &token, const OrchMsg &msg,
-                       bool msg_valid) const
+                       bool msg_valid)
 {
     const auto &preds = prog_->predicates(state_);
     std::uint8_t bits = 0;
@@ -122,7 +131,7 @@ Orchestrator::selValue(ValueSel sel, const MetaToken &token,
 
 Addr
 Orchestrator::evalAddr(const AddrMode &m, const MetaToken &token,
-                       const OrchMsg &msg) const
+                       const OrchMsg &msg)
 {
     switch (m.kind) {
       case AddrMode::Kind::Null:
@@ -184,6 +193,34 @@ Orchestrator::applyMetaUpdate(int reg, const MetaUpdate &u,
     panic("Orchestrator ", name_, ": bad meta update");
 }
 
+/**
+ * Adaptive flush, message side: a merge-protocol message (SpMM: a
+ * psum tagged with its row) whose row this orchestrator has not
+ * materialized yet cannot merge here -- under the eager policy it
+ * would be relayed south unmerged, and at high resident-row counts
+ * those misses cascade toward the all-miss quadratic traffic regime
+ * (docs/resident_rows.md). Instead, leave it at the head of the
+ * inbound channel: the resulting backpressure paces the upstream row
+ * to this row's progress, and the merge fires as soon as the row is
+ * pushed. Once the local stream is exhausted (End token) the cursor
+ * can never advance, so everything is relayed as under eager -- this
+ * bounds the hold and keeps the drain phase deadlock-free.
+ */
+bool
+Orchestrator::holdMergeMsg(const MetaToken &token, const OrchMsg &msg)
+{
+    if (flushPolicy_ != SpadFlushPolicy::Adaptive)
+        return false;
+    if (msg.id != prog_->mergeMsgId() || msg.id == kMsgNone)
+        return false;
+    if (token.kind == TokenKind::End)
+        return false;
+    if (static_cast<std::int32_t>(msg.value) <= rowCursor_)
+        return false;
+    // The admission probe is real associative work: charge it.
+    return !fifo_.search(msg.value).has_value();
+}
+
 void
 Orchestrator::tickCompute()
 {
@@ -198,8 +235,12 @@ Orchestrator::tickCompute()
 
     // 1. Latch inputs.
     const MetaToken token = stream_.peek(sim_.now());
-    const bool msg_valid = msgIn_ && !msgIn_->empty();
-    const OrchMsg msg = msg_valid ? msgIn_->front() : OrchMsg{};
+    bool msg_valid = msgIn_ && !msgIn_->empty();
+    OrchMsg msg = msg_valid ? msgIn_->front() : OrchMsg{};
+    if (msg_valid && holdMergeMsg(token, msg)) {
+        msg_valid = false;
+        msg = OrchMsg{};
+    }
 
     // 2. Condition computation + LUT lookup.
     const auto idx =
@@ -218,8 +259,11 @@ Orchestrator::tickCompute()
     // 4. Buffer push happens before address generation: the head/tag
     //    views used by a flush must include the entry materialized
     //    this cycle (a depth-1 buffer flushes the row it just pushed).
-    if (f.bufferOp == BufferOp::Push || f.bufferOp == BufferOp::PushPop)
-        fifo_.push(selValue(prog_->tagSel(), token, msg));
+    if (f.bufferOp == BufferOp::Push || f.bufferOp == BufferOp::PushPop) {
+        const std::uint16_t tag = selValue(prog_->tagSel(), token, msg);
+        rowCursor_ = tag;
+        fifo_.push(tag);
+    }
 
     // 5. Address generation and instruction issue.
     Instruction inst;

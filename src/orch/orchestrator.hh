@@ -20,6 +20,12 @@
  * and re-evaluates next cycle); stall propagation between rows is how
  * load imbalance manifests, which the scratchpad depth then absorbs
  * (Section 6.5 / Figure 17).
+ *
+ * An OrchPolicy layers scheduling knobs over the kernel microcode:
+ * the tag buffer's associative search can be banked (--tag-banks),
+ * and the scratchpad flush policy (--spad-flush) can be switched from
+ * the paper's eager flush-at-cap to the occupancy-adaptive policy
+ * described in orch/policy.hh. Neither changes computed values.
  */
 
 #ifndef CANON_ORCH_ORCHESTRATOR_HH
@@ -33,6 +39,7 @@
 #include "noc/inst_pipeline.hh"
 #include "noc/router.hh"
 #include "orch/msg_channel.hh"
+#include "orch/policy.hh"
 #include "orch/program.hh"
 #include "orch/tag_fifo.hh"
 #include "orch/token.hh"
@@ -57,7 +64,7 @@ class Orchestrator final : public Clocked
     static constexpr bool kHasTickCommit = false;
 
     Orchestrator(std::string name, int spad_capacity, StatGroup &stats,
-                 const Simulator &sim);
+                 const Simulator &sim, const OrchPolicy &policy = {});
 
     // ---- wiring ------------------------------------------------------
     void bindPipeline(InstPipeline *pipe) { pipe_ = pipe; }
@@ -85,27 +92,42 @@ class Orchestrator final : public Clocked
     void tickCommit() override {}
 
   private:
+    // Predicate/address evaluation is non-const because probing the
+    // tag buffer (MsgTagManaged, SpadSearch) is charged work: it
+    // mutates the bufferSearches/tagCompares cost counters.
     bool evalPredicate(Predicate p, const MetaToken &token,
-                       const OrchMsg &msg, bool msg_valid) const;
+                       const OrchMsg &msg, bool msg_valid);
     std::uint8_t condBits(const MetaToken &token, const OrchMsg &msg,
-                          bool msg_valid) const;
+                          bool msg_valid);
     std::uint16_t selValue(ValueSel sel, const MetaToken &token,
                            const OrchMsg &msg) const;
     Addr evalAddr(const AddrMode &m, const MetaToken &token,
-                  const OrchMsg &msg) const;
+                  const OrchMsg &msg);
     bool southHasSpace() const;
     void applyMetaUpdate(int reg, const MetaUpdate &u,
                          const MetaToken &token, const OrchMsg &msg);
+    bool holdMergeMsg(const MetaToken &token, const OrchMsg &msg);
 
     std::string name_;
     const OrchProgram *prog_ = nullptr;
     MetaStream stream_;
     TagFifo fifo_;
     const Simulator &sim_;
+    SpadFlushPolicy flushPolicy_;
+    int flushThreshold_; //!< occupancy BufferAtCap asserts at
 
     // Architectural registers (Figure 5).
     std::uint8_t state_ = 0;
     std::uint16_t meta_[2] = {0, 0};
+
+    /**
+     * Last row tag materialized into the buffer; -1 before any push.
+     * The adaptive flush policy compares incoming merge-protocol
+     * messages against this cursor: a psum for a row beyond it is
+     * held in the channel (backpressure) instead of relayed, so the
+     * merge happens once the local row cursor catches up.
+     */
+    std::int32_t rowCursor_ = -1;
 
     // Wiring.
     InstPipeline *pipe_ = nullptr;

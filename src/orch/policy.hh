@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Orchestrator-level policy knobs, shared between the fabric
+ * configuration and the orchestrator implementation.
+ *
+ * These are scheduling/microarchitecture policies layered on top of
+ * the kernel microcode: they never change what is computed (psum
+ * accumulation is exact integer arithmetic, so merge order is
+ * value-invariant), only when buffer slots are recycled and when
+ * north->south relays happen.
+ */
+
+#ifndef CANON_ORCH_POLICY_HH
+#define CANON_ORCH_POLICY_HH
+
+#include <string>
+
+namespace canon
+{
+
+/**
+ * When the scratchpad context queue drains completed-row psums.
+ *
+ * Eager is the paper's Listing-1 behavior: rows stay resident until
+ * the queue is at the resident cap and a new row end forces a
+ * flush-and-recycle. Adaptive targets the resident-row scaling
+ * pathology measured in docs/resident_rows.md: with thousands of
+ * in-flight rows, downstream orchestrators lag upstream beyond the
+ * residency window, psum merges miss, and relayed traffic cascades
+ * toward the all-miss quadratic regime. Adaptive (a) starts draining
+ * at a high-water mark instead of only at the cap, keeping headroom
+ * at every row end, and (b) holds a merge-protocol message whose row
+ * the local cursor has not reached yet in the inbound channel
+ * (backpressure) instead of relaying it, so the merge happens as soon
+ * as the row is materialized locally.
+ */
+enum class SpadFlushPolicy : std::uint8_t
+{
+    Eager,
+    Adaptive,
+};
+
+/** High-water mark adaptive flushing drains at (eager: the cap). */
+inline int
+spadHighWaterMark(int resident_cap)
+{
+    const int mark = (resident_cap * 3) / 4;
+    return mark < 1 ? 1 : mark;
+}
+
+inline const char *
+spadFlushName(SpadFlushPolicy p)
+{
+    return p == SpadFlushPolicy::Adaptive ? "adaptive" : "eager";
+}
+
+inline bool
+parseSpadFlush(const std::string &s, SpadFlushPolicy &out)
+{
+    if (s == "eager") {
+        out = SpadFlushPolicy::Eager;
+    } else if (s == "adaptive") {
+        out = SpadFlushPolicy::Adaptive;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** Orchestrator policy bundle threaded from CanonConfig. */
+struct OrchPolicy
+{
+    int tagBanks = 1;
+    SpadFlushPolicy spadFlush = SpadFlushPolicy::Eager;
+};
+
+} // namespace canon
+
+#endif // CANON_ORCH_POLICY_HH

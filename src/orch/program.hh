@@ -112,6 +112,15 @@ class OrchProgram
     /** The constant compared by Predicate::Meta1MinusMeta0LtB. */
     void setCondConstB(std::uint16_t k) { condConstB_ = k; }
 
+    /**
+     * Message id participating in the tag-managed merge protocol
+     * (SpMM: kMsgPsum, whose value is the row tag searched against
+     * the context queue). kMsgNone (the default) means no message is
+     * merge-protocol traffic, which disables the adaptive flush
+     * policy's message hold for this program.
+     */
+    void setMergeMsgId(std::uint8_t id) { mergeMsgId_ = id; }
+
     // ---- rules ------------------------------------------------------
     /** Add a rule for @p state; earlier rules have priority. */
     Rule &rule(std::uint8_t state);
@@ -134,6 +143,7 @@ class OrchProgram
     ValueSel tagSel() const { return tagSel_; }
     std::uint16_t condConst() const { return condConst_; }
     std::uint16_t condConstB() const { return condConstB_; }
+    std::uint8_t mergeMsgId() const { return mergeMsgId_; }
 
   private:
     std::string name_;
@@ -149,6 +159,7 @@ class OrchProgram
     ValueSel tagSel_ = ValueSel::InputValue;
     std::uint16_t condConst_ = 0;
     std::uint16_t condConstB_ = 0;
+    std::uint8_t mergeMsgId_ = 0; // kMsgNone
     bool compiled_ = false;
 };
 

@@ -21,6 +21,17 @@
  * supports rows whose slice is empty being skipped in the meta stream,
  * which the contiguous window cannot address. DESIGN.md records this
  * interpretation; the cost model charges a CAM-style search per probe.
+ *
+ * The search can be banked (the scale-out spatial-architecture
+ * literature's standard fix for coordination-state lookups): tags are
+ * hashed by `tag % banks` into independently searched banks, each
+ * holding its members in global insertion order. A probe scans only
+ * the bank its tag hashes to, so `tagCompares` counts per-bank work
+ * and drops ~banks-fold at high occupancy. Because duplicate tags
+ * hash to the same bank and bank order preserves insertion order, the
+ * first match in a bank is the oldest match globally: results are
+ * identical to the single-bank linear reference for every operation
+ * sequence (pinned by a differential property test in orch_test).
  */
 
 #ifndef CANON_ORCH_TAG_FIFO_HH
@@ -29,6 +40,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
@@ -39,16 +51,19 @@ namespace canon
 class TagFifo
 {
   public:
-    TagFifo(int capacity, StatGroup &stats)
+    TagFifo(int capacity, StatGroup &stats, int banks = 1)
         : capacity_(capacity),
+          banks_(static_cast<std::size_t>(banks < 1 ? 1 : banks)),
           searches_(stats.counter("bufferSearches")),
           compares_(stats.counter("tagCompares")),
           pushes_(stats.counter("bufferPushes"))
     {
         panicIf(capacity <= 0, "TagFifo: capacity must be positive");
+        panicIf(banks <= 0, "TagFifo: banks must be positive");
     }
 
     int capacity() const { return capacity_; }
+    int numBanks() const { return static_cast<int>(banks_.size()); }
 
     /** Resident entries allowed while a row is still accumulating. */
     int residentCap() const { return capacity_ - 1; }
@@ -80,16 +95,33 @@ class TagFifo
         return tags_.front();
     }
 
-    /** is_managing(tag): physical slot if resident, nullopt if not. */
+    /**
+     * is_managing(tag): physical slot if resident, nullopt if not.
+     * Non-const because a probe is charged work: it bumps the
+     * bufferSearches/tagCompares cost counters. Diagnostic walks over
+     * a const fabric use probe() instead.
+     */
     std::optional<int>
-    search(std::uint16_t tag) const
+    search(std::uint16_t tag)
     {
         ++searches_;
-        for (std::size_t i = 0; i < tags_.size(); ++i) {
+        const auto &bank = banks_[bankOf(tag)];
+        for (const Entry &e : bank) {
             ++compares_;
-            if (tags_[i] == tag)
-                return (headSlot_ + static_cast<int>(i)) % capacity_;
+            if (e.tag == tag)
+                return e.slot;
         }
+        return std::nullopt;
+    }
+
+    /** Uncounted const lookup for diagnostics/tests: same result as
+     *  search(), charges nothing to the cost model. */
+    std::optional<int>
+    probe(std::uint16_t tag) const
+    {
+        for (const Entry &e : banks_[bankOf(tag)])
+            if (e.tag == tag)
+                return e.slot;
         return std::nullopt;
     }
 
@@ -99,6 +131,7 @@ class TagFifo
     {
         panicIf(size() >= capacity_, "TagFifo: push beyond capacity");
         ++pushes_;
+        banks_[bankOf(tag)].push_back(Entry{tailSlot(), tag});
         tags_.push_back(tag);
     }
 
@@ -107,6 +140,10 @@ class TagFifo
     pop()
     {
         panicIf(tags_.empty(), "TagFifo: pop on empty buffer");
+        auto &bank = banks_[bankOf(tags_.front())];
+        panicIf(bank.empty() || bank.front().slot != headSlot_,
+                "TagFifo: bank order diverged from global order");
+        bank.pop_front();
         tags_.pop_front();
         headSlot_ = (headSlot_ + 1) % capacity_;
     }
@@ -115,15 +152,30 @@ class TagFifo
     reset()
     {
         tags_.clear();
+        for (auto &bank : banks_)
+            bank.clear();
         headSlot_ = 0;
     }
 
   private:
+    struct Entry
+    {
+        int slot;
+        std::uint16_t tag;
+    };
+
+    std::size_t
+    bankOf(std::uint16_t tag) const
+    {
+        return tag % banks_.size();
+    }
+
     int capacity_;
-    std::deque<std::uint16_t> tags_;
+    std::deque<std::uint16_t> tags_; //!< global FIFO order
+    std::vector<std::deque<Entry>> banks_; //!< per-bank insertion order
     int headSlot_ = 0;
-    Counter &searches_; // incrementable from const search(): the
-    Counter &compares_; // counters live in the owning StatGroup
+    Counter &searches_;
+    Counter &compares_;
     Counter &pushes_;
 };
 

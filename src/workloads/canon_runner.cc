@@ -73,8 +73,11 @@ CanonRunOptions::effectiveProxyRows(const CanonConfig &cfg) const
 {
     if (maxProxyRows > 0)
         return maxProxyRows;
+    const int base = cfg.spadFlush == SpadFlushPolicy::Adaptive
+                         ? kMinProxyRowsAdaptive
+                         : kMinProxyRows;
     const std::int64_t floor = std::max<std::int64_t>(
-        kMinProxyRows,
+        base,
         static_cast<std::int64_t>(kMinProxySlicesPerRow) * cfg.rows);
     return static_cast<int>(roundUp(floor, cfg.rows));
 }

@@ -34,15 +34,26 @@ namespace canon
 {
 
 /**
- * Floor of the derived proxy-row cap: enough i.i.d. row-slices for
- * the scaled statistics to sit within a few percent of an exact run
- * (cross-validated in workloads_test at 8x8 through 32x32), while
- * staying inside the flat region of the per-row cycle cost -- beyond
- * roughly 1k resident rows psum-tag pressure makes per-row cost
- * superlinear, so simulating more rows would make the M-linear
- * extrapolation *less* faithful, not more.
+ * Floor of the derived proxy-row cap under the eager flush policy:
+ * enough i.i.d. row-slices for the scaled statistics to sit within a
+ * few percent of an exact run (cross-validated in workloads_test at
+ * 8x8 through 32x32), while staying inside the flat region of the
+ * per-row cycle cost -- under eager flushing, beyond roughly 1k
+ * resident rows psum-tag merge misses make per-row cost superlinear
+ * (docs/resident_rows.md), so simulating more rows would make the
+ * M-linear extrapolation *less* faithful, not more.
  */
 inline constexpr int kMinProxyRows = 512;
+
+/**
+ * Floor of the derived proxy-row cap under the adaptive flush
+ * policy. Adaptive flushing keeps the per-row cost curve flat
+ * through at least 4096 resident rows (the regenerated curve in
+ * docs/resident_rows.md: the 2048-row cost is *below* the 512-row
+ * cost on 16x16 and 32x32), so the proxy can afford a 4x larger
+ * sample and the M-linear extrapolation only gets more faithful.
+ */
+inline constexpr int kMinProxyRowsAdaptive = 2048;
 
 /**
  * Minimum simulated row-slices per orchestrator row. The proxy's
@@ -58,12 +69,14 @@ struct CanonRunOptions
     /**
      * Cap on simulated output rows; 0 (the default) derives the cap
      * from the fabric via effectiveProxyRows(): at least
-     * kMinProxyRows, at least kMinProxySlicesPerRow slices per
-     * orchestrator row, rounded up to a multiple of the fabric
-     * height so every orchestrator row simulates the same number of
-     * row-slices. For the 8x8..32x32 fabrics this derives the
-     * historical 512; taller fabrics get proportionally more rows
-     * instead of a silently thinning sample.
+     * kMinProxyRows (kMinProxyRowsAdaptive under the adaptive flush
+     * policy, whose flat cost curve affords the larger sample), at
+     * least kMinProxySlicesPerRow slices per orchestrator row,
+     * rounded up to a multiple of the fabric height so every
+     * orchestrator row simulates the same number of row-slices. For
+     * the 8x8..32x32 fabrics the eager floor derives the historical
+     * 512; taller fabrics get proportionally more rows instead of a
+     * silently thinning sample.
      */
     int maxProxyRows = 0;
     int maxProxyPasses = 1;  //!< column passes actually simulated

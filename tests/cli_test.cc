@@ -93,6 +93,31 @@ TEST(CliOptions, ParsesFabricAndModeOptions)
     EXPECT_EQ(o.csvPath, "/tmp/out.csv");
 }
 
+TEST(CliOptions, ParsesTagBanksAndSpadFlush)
+{
+    auto res = parse({"--tag-banks=8", "--spad-flush=adaptive"});
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.options.fabricConfig().tagBanks, 8);
+    EXPECT_EQ(res.options.fabricConfig().spadFlush,
+              SpadFlushPolicy::Adaptive);
+
+    // Defaults stay on the linear-search / flush-at-cap baseline.
+    auto dflt = parse({});
+    ASSERT_TRUE(dflt.ok) << dflt.error;
+    EXPECT_EQ(dflt.options.fabricConfig().tagBanks, 1);
+    EXPECT_EQ(dflt.options.fabricConfig().spadFlush,
+              SpadFlushPolicy::Eager);
+
+    for (const char *bad :
+         {"--tag-banks=0", "--tag-banks=65", "--tag-banks=lots"})
+        EXPECT_FALSE(parse({bad}).ok) << bad;
+    auto flush = parse({"--spad-flush", "lazy"});
+    ASSERT_FALSE(flush.ok);
+    EXPECT_NE(flush.error.find("eager | adaptive"),
+              std::string::npos)
+        << flush.error;
+}
+
 TEST(CliOptions, ArchAllExpandsToEveryArchitecture)
 {
     auto res = parse({"--arch", "all"});
@@ -286,6 +311,43 @@ TEST(CliRelevance, PerWorkloadKeySetsMatchTheGrammar)
     EXPECT_TRUE(optionRelevant(o, "rows"));
     EXPECT_TRUE(optionRelevant(o, "clock-ghz"));
     EXPECT_TRUE(optionRelevant(o, "model"));
+}
+
+TEST(CliRelevance, PolicyKeysAreFabricKeysEverywhere)
+{
+    // tag-banks / spad-flush shape the fabric like rows/spad do, so
+    // they are relevant to every workload and every model, and they
+    // round-trip through the sweep grammar.
+    Options o;
+    for (auto wl : {Workload::Gemm, Workload::Spmm, Workload::SpmmNm,
+                    Workload::Sddmm, Workload::SddmmWindow}) {
+        o.workload = wl;
+        EXPECT_TRUE(optionRelevant(o, "tag-banks"));
+        EXPECT_TRUE(optionRelevant(o, "spad-flush"));
+    }
+    o = Options{};
+    o.model = "longformer";
+    EXPECT_TRUE(optionRelevant(o, "tag-banks"));
+    EXPECT_TRUE(optionRelevant(o, "spad-flush"));
+
+    o = Options{};
+    EXPECT_EQ(optionValueText(o, "tag-banks"), "1");
+    EXPECT_EQ(optionValueText(o, "spad-flush"), "eager");
+    EXPECT_TRUE(
+        applyScenarioOption(o, "spad-flush", "adaptive").empty());
+    EXPECT_EQ(optionValueText(o, "spad-flush"), "adaptive");
+}
+
+TEST(CliRelevance, PolicyAxesSweepCleanly)
+{
+    auto res = parse({"--workload", "spmm", "--m", "16", "--k", "16",
+                      "--n", "16", "--sparsity", "0.5", "--rows",
+                      "2", "--cols", "2", "--sweep", "tag-banks=1,4",
+                      "--sweep", "spad-flush=eager,adaptive"});
+    ASSERT_TRUE(res.ok) << res.error;
+    std::ostringstream out, err;
+    EXPECT_EQ(runScenario(res.options, out, err), 0) << err.str();
+    EXPECT_EQ(err.str(), ""); // relevant axes: no ignored-key warning
 }
 
 TEST(CliRelevance, ModelRunsIgnoreShapeKeys)

@@ -298,6 +298,27 @@ TEST(Engine, RunIsDeterministicAcrossWorkerCounts)
     EXPECT_EQ(a, b);
 }
 
+TEST(Engine, PolicyAxesAreDeterministicAcrossWorkerCounts)
+{
+    // Sweeping the tag-bank count and flush policy must commute with
+    // the worker count: four scenarios, byte-identical tables.
+    ScenarioRequest req;
+    req.workload(cli::Workload::Spmm)
+        .shape(64, 64, 16)
+        .sweep("tag-banks", "1,8")
+        .sweep("spad-flush", "eager,adaptive");
+    Engine serial(EngineConfig{.jobs = 1});
+    Engine threaded(EngineConfig{.jobs = 4});
+    const auto ra = serial.run(req);
+    const auto rb = threaded.run(req);
+    ASSERT_TRUE(ra.ok()) << ra.error();
+    ASSERT_EQ(ra.size(), 4u);
+    const std::string a = render(ra);
+    const std::string b = render(rb);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
 TEST(Engine, RunBatchIsDeterministicAcrossWorkerCounts)
 {
     ScenarioRequest sweep;

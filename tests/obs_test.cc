@@ -145,16 +145,20 @@ struct ObservedRun
 
 /**
  * One sampled SpMM execution under a registration shuffle. The
- * workload is fixed; only the shuffle seed and the observation
- * options vary.
+ * workload is fixed; only the shuffle seed, the observation options,
+ * and the orchestrator policy axes vary.
  */
 ObservedRun
-sampledRun(std::uint64_t shuffle_seed, bool observe)
+sampledRun(std::uint64_t shuffle_seed, bool observe,
+           int tag_banks = 1,
+           SpadFlushPolicy flush = SpadFlushPolicy::Eager)
 {
     CanonConfig cfg;
     cfg.rows = 2;
     cfg.cols = 2;
     cfg.spadEntries = 4;
+    cfg.tagBanks = tag_banks;
+    cfg.spadFlush = flush;
     Rng rng(77);
     const auto a = randomSparse(32, 16, 0.5, rng);
     const auto b = randomDense(16, 8, rng);
@@ -195,6 +199,29 @@ TEST(Sampler, SeriesIdenticalAcrossRegistrationShuffles)
         EXPECT_EQ(got.obs->runs[0].flat, ref.obs->runs[0].flat)
             << "seed " << seed;
     }
+}
+
+TEST(Sampler, SeriesIdenticalAcrossShufflesUnderPolicyAxes)
+{
+    // The banked search and the adaptive flush policy must not leak
+    // registration order into the sampled series either.
+    const auto ref =
+        sampledRun(0, true, 4, SpadFlushPolicy::Adaptive);
+    ASSERT_EQ(ref.obs->runs.size(), 1u);
+    ASSERT_FALSE(ref.obs->runs[0].series.empty());
+    for (std::uint64_t seed : {1ull, 12345ull}) {
+        const auto got =
+            sampledRun(seed, true, 4, SpadFlushPolicy::Adaptive);
+        EXPECT_EQ(got.cycles, ref.cycles) << "seed " << seed;
+        ASSERT_EQ(got.obs->runs.size(), 1u);
+        EXPECT_EQ(got.obs->runs[0].series, ref.obs->runs[0].series)
+            << "seed " << seed;
+        EXPECT_EQ(got.obs->runs[0].flat, ref.obs->runs[0].flat)
+            << "seed " << seed;
+    }
+    // Same answer as the eager/linear baseline: policies change
+    // timing and probe cost, never values.
+    EXPECT_EQ(ref.result, sampledRun(0, false).result);
 }
 
 TEST(Sampler, SeriesShapeAndCumulativeValues)
@@ -463,9 +490,13 @@ class JsonReader
 // Engine-level artifact determinism and schema checks.
 // ---------------------------------------------------------------------
 
-/** A small 3-point sparsity sweep with every obs output requested. */
+/**
+ * A small 3-point sparsity sweep with every obs output requested.
+ * @p policy_axes additionally sweeps tag-banks and spad-flush,
+ * exercising the policy grammar through the full engine/obs path.
+ */
 engine::ScenarioRequest
-obsSweepRequest()
+obsSweepRequest(bool policy_axes = false)
 {
     cli::Options opt;
     opt.m = 32;
@@ -475,6 +506,10 @@ obsSweepRequest()
     opt.cols = 2;
     opt.spadEntries = 4;
     opt.sweepAxes.emplace_back("sparsity", "0.3,0.5,0.8");
+    if (policy_axes) {
+        opt.sweepAxes.emplace_back("tag-banks", "1,4");
+        opt.sweepAxes.emplace_back("spad-flush", "eager,adaptive");
+    }
     opt.common.obs.sampleEvery = 50;
     opt.common.obs.seriesOut = "unused-s.csv";
     opt.common.obs.traceOut = "unused-t.json";
@@ -525,6 +560,26 @@ TEST(ObsReport, ArtifactsByteIdenticalAcrossJobs)
         ASSERT_NE(s.obs, nullptr) << s.index;
         EXPECT_FALSE(s.obs->runs.empty()) << s.index;
     }
+}
+
+TEST(ObsReport, ArtifactsByteIdenticalAcrossJobsUnderPolicyAxes)
+{
+    // Same gate with tag-banks and spad-flush swept on top of
+    // sparsity: 12 scenarios, each observed, byte-identical whether
+    // executed serially or on four workers.
+    engine::Engine one(engine::EngineConfig{.jobs = 1});
+    engine::Engine four(engine::EngineConfig{.jobs = 4});
+    const auto rs1 = one.run(obsSweepRequest(true));
+    const auto rs4 = four.run(obsSweepRequest(true));
+    ASSERT_TRUE(rs1.ok()) << rs1.error();
+    ASSERT_TRUE(rs4.ok()) << rs4.error();
+    ASSERT_EQ(rs1.obs().scenarios().size(), 12u);
+
+    const auto a1 = renderArtifacts(rs1);
+    const auto a4 = renderArtifacts(rs4);
+    EXPECT_EQ(a1.series, a4.series);
+    EXPECT_EQ(a1.trace, a4.trace);
+    EXPECT_EQ(a1.stats, a4.stats);
 }
 
 TEST(ObsReport, SeriesCsvShape)

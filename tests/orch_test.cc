@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+
 #include "common/rng.hh"
 #include "core/fabric.hh"
 #include "kernels/spmm.hh"
@@ -160,6 +162,167 @@ TEST(TagFifo, OverCapacityPanics)
     f.push(2);
     EXPECT_THROW(f.push(3), PanicError);
     EXPECT_THROW(TagFifo(0, stats), PanicError);
+    EXPECT_THROW(TagFifo(4, stats, 0), PanicError);
+    EXPECT_THROW(TagFifo(4, stats, -3), PanicError);
+}
+
+TEST(TagFifo, BankedSearchMatchesLinearReference)
+{
+    // Differential property test: for every bank count, a randomized
+    // insert/search/evict sequence must be observation-identical to
+    // the 1-bank linear reference -- same hit/miss, same physical
+    // slot, same head/tail bookkeeping. Tags are drawn from a small
+    // range so duplicates occur and oldest-match semantics is pinned
+    // (duplicates hash to the same bank, so bank order decides).
+    constexpr int kCapacity = 16;
+    const int bank_counts[] = {2, 3, 4, 7, 8, 16, 64};
+
+    StatGroup ref_stats("ref");
+    TagFifo ref(kCapacity, ref_stats, 1);
+
+    std::deque<StatGroup> stats;
+    std::deque<TagFifo> banked;
+    for (int banks : bank_counts) {
+        stats.emplace_back("b" + std::to_string(banks));
+        banked.emplace_back(kCapacity, stats.back(), banks);
+    }
+
+    Rng rng(77);
+    for (int step = 0; step < 4000; ++step) {
+        const bool can_push = ref.size() < kCapacity;
+        const bool do_push =
+            can_push && (ref.empty() || rng.nextBool(0.55));
+        if (do_push) {
+            const auto tag =
+                static_cast<std::uint16_t>(rng.nextBounded(24));
+            ref.push(tag);
+            for (auto &f : banked)
+                f.push(tag);
+        } else if (!ref.empty()) {
+            ref.pop();
+            for (auto &f : banked)
+                f.pop();
+        }
+
+        const auto probe =
+            static_cast<std::uint16_t>(rng.nextBounded(24));
+        const auto want = ref.search(probe);
+        for (std::size_t i = 0; i < banked.size(); ++i) {
+            auto &f = banked[i];
+            EXPECT_EQ(f.search(probe), want)
+                << f.numBanks() << " banks, step " << step;
+            EXPECT_EQ(f.size(), ref.size());
+            EXPECT_EQ(f.tailSlot(), ref.tailSlot());
+            if (!ref.empty()) {
+                EXPECT_EQ(f.headSlot(), ref.headSlot());
+                EXPECT_EQ(f.headTag(), ref.headTag());
+            }
+        }
+    }
+
+    // Counter consistency: one bufferSearches bump per probe
+    // everywhere; per-probe compares never exceed the population
+    // (checked in aggregate: total compares <= searches * cap), and
+    // banking strictly reduces total compare work at this
+    // duplicate-heavy occupancy.
+    const auto searches = ref_stats.counter("bufferSearches").value();
+    const auto ref_compares = ref_stats.counter("tagCompares").value();
+    EXPECT_EQ(searches, 4000u);
+    EXPECT_LE(ref_compares, searches * kCapacity);
+    for (std::size_t i = 0; i < banked.size(); ++i) {
+        EXPECT_EQ(stats[i].counter("bufferSearches").value(),
+                  searches);
+        EXPECT_LE(stats[i].counter("tagCompares").value(),
+                  ref_compares)
+            << banked[i].numBanks() << " banks";
+    }
+}
+
+TEST(TagFifo, SearchCountersAreMonotonePerProbe)
+{
+    // Each counted probe bumps searches by exactly 1 and compares by
+    // at most the resident population, and never decreases either.
+    StatGroup stats("t");
+    TagFifo f(8, stats, 4);
+    const auto &searches = stats.counter("bufferSearches");
+    const auto &compares = stats.counter("tagCompares");
+
+    Rng rng(3);
+    std::uint64_t prev_s = 0, prev_c = 0;
+    for (int step = 0; step < 500; ++step) {
+        if (f.size() < 8 && rng.nextBool(0.6))
+            f.push(static_cast<std::uint16_t>(rng.nextBounded(12)));
+        else if (!f.empty())
+            f.pop();
+        f.search(static_cast<std::uint16_t>(rng.nextBounded(12)));
+        EXPECT_EQ(searches.value(), prev_s + 1);
+        EXPECT_GE(compares.value(), prev_c);
+        EXPECT_LE(compares.value() - prev_c,
+                  static_cast<std::uint64_t>(f.size()));
+        prev_s = searches.value();
+        prev_c = compares.value();
+    }
+}
+
+// The cost counters may only move through the explicit non-const
+// probe API: a const view of the buffer (e.g. a diagnostic walk over
+// a const fabric) exposes no counted search at compile time.
+template <typename T>
+concept ConstCountedSearch =
+    requires(const T t) { t.search(std::uint16_t{0}); };
+static_assert(!ConstCountedSearch<TagFifo>,
+              "search() charges cost counters and must not be"
+              " callable through a const buffer view");
+static_assert(requires(const TagFifo t) { t.probe(std::uint16_t{0}); },
+              "probe() is the uncounted const lookup");
+
+TEST(TagFifo, ConstProbeDoesNotChargeCounters)
+{
+    StatGroup stats("t");
+    TagFifo f(8, stats, 2);
+    f.push(3);
+    f.push(4);
+
+    const TagFifo &view = f;
+    ASSERT_TRUE(view.probe(4).has_value());
+    EXPECT_EQ(*view.probe(4), 1);
+    EXPECT_FALSE(view.probe(9).has_value());
+    EXPECT_EQ(stats.counter("bufferSearches").value(), 0u);
+    EXPECT_EQ(stats.counter("tagCompares").value(), 0u);
+
+    // The counted probe agrees with the uncounted one and charges.
+    EXPECT_EQ(f.search(4), view.probe(4));
+    EXPECT_EQ(stats.counter("bufferSearches").value(), 1u);
+    EXPECT_GT(stats.counter("tagCompares").value(), 0u);
+}
+
+TEST(TagFifo, ConstFabricWalkCannotMutateStats)
+{
+    // End-to-end version of the const-correctness pin: walking every
+    // orchestrator buffer of a finished (const) fabric with probe()
+    // leaves the fabric's stat snapshot untouched.
+    CanonConfig cfg;
+    cfg.rows = 4;
+    cfg.cols = 4;
+    cfg.tagBanks = 2;
+    CanonFabric fabric(cfg);
+
+    Rng rng(11);
+    const auto a = randomSparse(32, 16, 0.5, rng);
+    const auto b = randomDense(16, 16, rng);
+    const auto csr = CsrMatrix::fromDense(a);
+    fabric.load(mapSpmm(csr, b, cfg));
+    fabric.run();
+
+    const CanonFabric &view = fabric;
+    const auto before = view.profile("walk");
+    for (int r = 0; r < cfg.rows; ++r)
+        for (std::uint16_t tag = 0; tag < 64; ++tag)
+            (void)view.orch(r).buffer().probe(tag);
+    const auto after = view.profile("walk");
+    EXPECT_EQ(after.get("bufferSearches"),
+              before.get("bufferSearches"));
+    EXPECT_EQ(after.get("tagCompares"), before.get("tagCompares"));
 }
 
 TEST(Program, RulePriorityIsRegistrationOrder)
