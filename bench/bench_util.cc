@@ -148,7 +148,11 @@ benchUsageText()
            " (requires\n"
            "               --sample-every)\n"
            "  --trace-out P  Chrome trace-event JSON of the run\n"
-           "  --stats-json P  canon.stats.v1 per-point stats dump\n"
+           "  --stats-json P  canon.stats.v2 per-point stats dump\n"
+           "  --cycle-accounting  per-component stall-cause cycle\n"
+           "               breakdown + occupancy histograms\n"
+           "  --host-timers  host wall-clock phase timers per point\n"
+           "               (--stats-json only; not byte-stable)\n"
            "               (observability flags never change figure\n"
            "               CSVs or cache keys; cached points render\n"
            "               without simulating and go unobserved)\n"
@@ -178,7 +182,7 @@ parseBenchArgs(const std::vector<std::string> &args, BenchOptions &out)
         }
         if (!engine::isCommonFlag(key))
             return "unknown option '" + key + "' (see --help)";
-        if (!have_value) {
+        if (!have_value && !engine::isCommonBoolFlag(key)) {
             if (i + 1 >= args.size())
                 return "option '" + key + "' expects a value";
             value = args[++i];

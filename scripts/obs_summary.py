@@ -1,25 +1,48 @@
 #!/usr/bin/env python3
-"""Summarize a canon --series-out time-series CSV.
+"""Summarize canon observability artifacts.
 
-The input is the long-form CSV the sampler emits
+Series mode (the default) reads a --series-out time-series CSV in the
+long form the sampler emits
 (scenario,pass,metric,component,cycle,value) with cumulative counter
 readings. For every (scenario, pass, metric, component) series this
 prints the final value, the run length in sampled cycles, and the
 mean rate (final value / final cycle) -- the quick look that answers
 "which component saturated" without opening the trace UI.
 
-With --metric the report is restricted to one metric; with --csv the
+Accounting mode (--accounting-json) reads a canon.stats.v2
+--stats-json dump instead and prints the --cycle-accounting
+stall-cause breakdown: per observed run, one row per component with
+the six category counts and their percentages, ranked by stalled
+cycles (upstream starvation + downstream backpressure). The mode
+re-checks the accounting invariant -- every component's categories
+must sum exactly to the observed cycles -- and exits 1 on any
+violation, so it doubles as an artifact validator.
+
+With --metric the series report is restricted to one metric; with
+--top K only the K highest-ranked rows are kept (by final value in
+series mode, by stalled cycles in accounting mode); with --csv the
 summary is emitted as machine-readable CSV instead of the aligned
 table.
 
-Usage: obs_summary.py SERIES.csv [--metric NAME] [--csv]
+Usage: obs_summary.py SERIES.csv [--metric NAME] [--top K] [--csv]
+       obs_summary.py --accounting-json STATS.json [--top K] [--csv]
 """
 
 import argparse
 import csv
+import json
 import sys
 
 HEADER = ["scenario", "pass", "metric", "component", "cycle", "value"]
+
+CATEGORIES = [
+    "compute",
+    "stall_upstream_empty",
+    "stall_downstream_backpressure",
+    "tag_search",
+    "drain",
+    "idle",
+]
 
 
 def read_series(path):
@@ -42,17 +65,7 @@ def read_series(path):
     return series
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("series", help="path to the --series-out CSV")
-    ap.add_argument("--metric", help="only report this metric")
-    ap.add_argument(
-        "--csv",
-        action="store_true",
-        help="emit the summary as CSV instead of a table",
-    )
-    args = ap.parse_args()
-
+def series_report(args):
     series = read_series(args.series)
     rows = []
     for (scenario, pass_, metric, component), pts in sorted(
@@ -89,6 +102,10 @@ def main():
     if not rows:
         sys.exit("obs_summary: no matching series")
 
+    if args.top:
+        rows.sort(key=lambda r: (-r[6], r[:4]))
+        rows = rows[: args.top]
+
     if args.csv:
         w = csv.writer(sys.stdout)
         w.writerow(
@@ -122,6 +139,141 @@ def main():
     )
     for r in rows:
         print(fmt.format(*r[:7], f"{r[7]:.4f}"))
+
+
+def accounting_report(args):
+    try:
+        with open(args.accounting_json, "rb") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"obs_summary: {args.accounting_json}: {e}")
+
+    schema = doc.get("schema")
+    if schema != "canon.stats.v2":
+        sys.exit(
+            f"obs_summary: schema is {schema!r}, expected"
+            " 'canon.stats.v2' (accounting needs --cycle-accounting)"
+        )
+
+    rows = []
+    violations = 0
+    for s in doc.get("scenarios", []):
+        runs = s.get("sim", {}).get("runs", [])
+        for pass_, run in enumerate(runs):
+            acct = run.get("accounting")
+            if not acct:
+                continue
+            cycles = acct["cycles"]
+            for comp in acct["components"]:
+                cats = [comp[c] for c in CATEGORIES]
+                total = sum(cats)
+                if total != cycles or comp["total"] != cycles:
+                    print(
+                        "obs_summary: INVARIANT VIOLATION: scenario"
+                        f" {s.get('index')} pass {pass_} component"
+                        f" {comp['component']}: categories sum to"
+                        f" {total}, observed cycles {cycles}",
+                        file=sys.stderr,
+                    )
+                    violations += 1
+                stalled = (
+                    comp["stall_upstream_empty"]
+                    + comp["stall_downstream_backpressure"]
+                )
+                rows.append(
+                    (
+                        s.get("index", 0),
+                        pass_,
+                        comp["component"],
+                        cycles,
+                        stalled,
+                        *cats,
+                    )
+                )
+
+    if not rows:
+        sys.exit(
+            "obs_summary: no accounting records (was the run made"
+            " with --cycle-accounting?)"
+        )
+
+    rows.sort(key=lambda r: (-r[4], r[0], r[1], r[2]))
+    if args.top:
+        rows = rows[: args.top]
+
+    head = ["scenario", "pass", "component", "cycles", "stalled"]
+    head += CATEGORIES
+    if args.csv:
+        w = csv.writer(sys.stdout)
+        w.writerow(head)
+        for r in rows:
+            w.writerow(r)
+    else:
+        fmt = (
+            "{:>8} {:>4} {:<10} {:>8} {:>16} {:>12} "
+            "{:>20} {:>29} {:>12} {:>10} {:>10}"
+        )
+
+        def pct(v, cycles):
+            share = 100.0 * v / cycles if cycles else 0.0
+            return f"{v} ({share:.1f}%)"
+
+        print(fmt.format(*head))
+        for r in rows:
+            cells = [pct(v, r[3]) for v in r[4:]]
+            print(fmt.format(*r[:4], *cells))
+
+    if violations:
+        sys.exit(
+            f"obs_summary: FAIL: {violations} accounting invariant"
+            " violation(s)"
+        )
+    print(
+        f"obs_summary: accounting OK: {len(rows)} row(s), every"
+        " component's categories sum to its observed cycles",
+        file=sys.stderr,
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "series",
+        nargs="?",
+        help="path to the --series-out CSV (series mode)",
+    )
+    ap.add_argument(
+        "--accounting-json",
+        metavar="STATS_JSON",
+        help="path to a canon.stats.v2 --stats-json dump: print the"
+        " stall-cause breakdown instead of the series summary",
+    )
+    ap.add_argument("--metric", help="only report this metric")
+    ap.add_argument(
+        "--top",
+        type=int,
+        metavar="K",
+        help="keep only the K highest-ranked rows",
+    )
+    ap.add_argument(
+        "--csv",
+        action="store_true",
+        help="emit the summary as CSV instead of a table",
+    )
+    args = ap.parse_args()
+
+    if args.top is not None and args.top < 1:
+        ap.error("--top expects a positive count")
+    if args.accounting_json:
+        if args.series:
+            ap.error("--accounting-json replaces the SERIES argument")
+        if args.metric:
+            ap.error("--metric applies to series mode only")
+        accounting_report(args)
+    elif args.series:
+        series_report(args)
+    else:
+        ap.error("need a SERIES CSV or --accounting-json")
 
 
 if __name__ == "__main__":

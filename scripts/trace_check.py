@@ -12,11 +12,21 @@ Checks, in order:
     order (the writer serializes scenarios on a virtual timeline, so
     an out-of-order event means the report layer regressed);
  4. the metadata names the expected tracks ("engine" and, when any
-    simulation executed, "sim").
+    simulation executed, "sim");
+ 5. when the trace carries cycle-accounting counter tracks
+    ("acct.*" 'C' events from --cycle-accounting with sampling), the
+    cumulative category values are non-decreasing per track, every
+    capture carries all six categories plus the acct.accounted
+    rollup, and at every capture the six categories sum exactly to
+    acct.accounted -- the trace-level face of the
+    categories-sum-to-cycles invariant. --require-accounting makes
+    the absence of these tracks itself a failure (the CI accounting
+    pass uses it).
 
 Exit code 0 on success; 1 with a diagnostic on the first violation.
 
 Usage: trace_check.py TRACE.json [--min-events N]
+       [--require-accounting]
 """
 
 import argparse
@@ -26,13 +36,76 @@ import sys
 PHASES = {"M", "X", "i", "C"}
 SCHEMA = "canon-trace-1"
 
+ACCT_CATEGORIES = [
+    "acct.compute",
+    "acct.stall_upstream_empty",
+    "acct.stall_downstream_backpressure",
+    "acct.tag_search",
+    "acct.drain",
+    "acct.idle",
+]
+ACCT_ROLLUP = "acct.accounted"
+ACCT_NAMES = set(ACCT_CATEGORIES) | {ACCT_ROLLUP}
+
 
 def fail(msg):
     print(f"trace_check: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
 
 
-def check(trace_path, min_events):
+def check_accounting(acct_events, required):
+    """Validate the acct.* counter tracks collected from the trace.
+
+    acct_events: [(index, run, name, ts, value)] in array order,
+    where run identifies the enclosing sim.run span (each run's
+    accountant counts from zero, so cumulative checks are per run)
+    and value is the summed args of one 'C' event (the accountant
+    emits a single fabric rollup arg per capture).
+    """
+    if not acct_events:
+        if required:
+            fail(
+                "no acct.* counter tracks (--require-accounting set;"
+                " was the trace made with --cycle-accounting and"
+                " --sample-every?)"
+            )
+        return 0
+
+    last = {}
+    captures = {}
+    for i, run, name, ts, value in acct_events:
+        where = f"traceEvents[{i}]"
+        if run < 0:
+            fail(f"{where}: acct counter outside any sim.run span")
+        prev = last.get((run, name))
+        if prev is not None and value < prev:
+            fail(
+                f"{where}: cumulative counter {name} decreased"
+                f" within a run ({prev} -> {value})"
+            )
+        last[(run, name)] = value
+        cap = captures.setdefault((run, ts), {})
+        if name in cap:
+            fail(f"{where}: duplicate {name} sample at ts {ts}")
+        cap[name] = value
+
+    for (run, ts), cap in sorted(captures.items()):
+        missing = ACCT_NAMES - cap.keys()
+        if missing:
+            fail(
+                f"accounting capture at ts {ts} is missing"
+                f" {sorted(missing)}"
+            )
+        total = sum(cap[c] for c in ACCT_CATEGORIES)
+        if total != cap[ACCT_ROLLUP]:
+            fail(
+                f"accounting capture at ts {ts}: categories sum to"
+                f" {total}, {ACCT_ROLLUP} says {cap[ACCT_ROLLUP]}"
+            )
+    return len(captures)
+
+
+def check(trace_path, min_events, require_accounting):
     try:
         with open(trace_path, "rb") as f:
             doc = json.load(f)
@@ -56,6 +129,8 @@ def check(trace_path, min_events):
     last_ts = {}
     thread_names = set()
     counts = dict.fromkeys(PHASES, 0)
+    acct_events = []
+    sim_run = -1
     for i, e in enumerate(events):
         where = f"traceEvents[{i}]"
         for field in ("name", "ph", "ts", "pid", "tid"):
@@ -73,6 +148,15 @@ def check(trace_path, min_events):
             if e["name"] == "thread_name":
                 thread_names.add(e.get("args", {}).get("name"))
             continue
+        if ph == "X" and e["name"] == "sim.run":
+            sim_run += 1
+        if ph == "C" and e["name"] in ACCT_NAMES:
+            args = e.get("args", {})
+            if not args:
+                fail(f"{where}: acct counter without args")
+            acct_events.append(
+                (i, sim_run, e["name"], e["ts"], sum(args.values()))
+            )
         track = (e["pid"], e["tid"])
         ts = e["ts"]
         if ts < last_ts.get(track, 0):
@@ -88,11 +172,18 @@ def check(trace_path, min_events):
     if counts["X"] == 0:
         fail("no complete ('X') spans at all")
 
+    acct_captures = check_accounting(acct_events, require_accounting)
+
+    acct_note = (
+        f", accounting invariant holds at {acct_captures} captures"
+        if acct_captures
+        else ""
+    )
     print(
         f"trace_check: OK: {trace_path}: {len(events)} events "
         f"({counts['X']} spans, {counts['C']} counter samples, "
         f"{counts['i']} instants) on {len(last_ts)} tracks, "
-        "timestamps monotonic per track"
+        f"timestamps monotonic per track{acct_note}"
     )
 
 
@@ -105,8 +196,13 @@ def main():
         default=1,
         help="minimum total event count (default 1)",
     )
+    ap.add_argument(
+        "--require-accounting",
+        action="store_true",
+        help="fail unless the trace carries acct.* counter tracks",
+    )
     args = ap.parse_args()
-    check(args.trace, args.min_events)
+    check(args.trace, args.min_events, args.require_accounting)
 
 
 if __name__ == "__main__":

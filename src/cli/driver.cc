@@ -45,6 +45,8 @@ renderSingle(const Options &opt, const engine::ResultSet &rs,
 
     Table table = rs.statsTable();
     table.print(out);
+    if (rs.obs().hasAccounting())
+        rs.obs().writeAccounting(out);
     if (!rs.cacheStatsLine().empty())
         out << "\n" << rs.cacheStatsLine() << "\n";
     if (!opt.csvPath.empty()) {
@@ -80,6 +82,8 @@ renderSweep(const Options &opt, const engine::ResultSet &rs,
 
     Table table = rs.sweepTable();
     table.print(out);
+    if (rs.obs().hasAccounting())
+        rs.obs().writeAccounting(out);
     if (!rs.cacheStatsLine().empty())
         out << "\n" << rs.cacheStatsLine() << "\n";
 

@@ -454,10 +454,22 @@ usageText()
         "                    scenario spans, sim run spans, cache\n"
         "                    probe/hit/miss/store instants, and -- \n"
         "                    with --sample-every -- counter tracks\n"
-        "  --stats-json P    write the canon.stats.v1 dump: per\n"
-        "                    scenario, the per-arch activity profiles\n"
-        "                    and the full flat fabric stats view of\n"
-        "                    every executed simulation run\n"
+        "  --stats-json P    write the canon.stats.v2 dump: per\n"
+        "                    scenario, the per-arch activity profiles,\n"
+        "                    the full flat fabric stats view of every\n"
+        "                    executed simulation run, and -- when\n"
+        "                    enabled -- cycle accounting, occupancy\n"
+        "                    histograms, and host phase timers\n"
+        "  --cycle-accounting\n"
+        "                    classify every component-cycle into the\n"
+        "                    stall-cause taxonomy (compute / upstream\n"
+        "                    empty / backpressure / tag search / drain\n"
+        "                    / idle), render the breakdown table, and\n"
+        "                    record occupancy histograms\n"
+        "  --host-timers     measure host wall-clock phase durations\n"
+        "                    per scenario (queue wait, cache probe,\n"
+        "                    sim, encode, store; --stats-json only;\n"
+        "                    not byte-stable across runs)\n"
         "\n"
         "Output:\n"
         "  --csv PATH        also write the stats table as CSV\n"
@@ -526,6 +538,17 @@ parseArgs(const std::vector<std::string> &args)
         }
         if (key == "--probe-spad") {
             opt.probeSpad = true;
+            continue;
+        }
+
+        // Boolean common flags (--cycle-accounting, --host-timers)
+        // take no value: offer them before the value lookahead.
+        if (!have_value && engine::isCommonBoolFlag(key)) {
+            std::string common_err;
+            if (engine::parseCommonFlag(key, "", opt.common,
+                                        common_err) ==
+                engine::FlagParse::Error)
+                return fail(common_err);
             continue;
         }
 

@@ -1,6 +1,7 @@
 #include "core/fabric.hh"
 
 #include "common/rng.hh"
+#include "obs/accounting.hh"
 #include "obs/collector.hh"
 #include "obs/sampler.hh"
 
@@ -268,13 +269,49 @@ CanonFabric::run(Cycle max_cycles)
             stats_, col->options().sampleEvery);
         sim_.addTyped(sampler_.get());
     }
+    if (col && col->accounting() && !accountant_) {
+        std::vector<const Orchestrator *> orchs;
+        for (const auto &o : orchs_)
+            orchs.push_back(o.get());
+        std::vector<const Pe *> pes;
+        for (const auto &p : pes_)
+            pes.push_back(p.get());
+        std::vector<const InstPipeline *> pipes;
+        for (const auto &p : pipes_)
+            pipes.push_back(p.get());
+        std::vector<const DataChannel *> vert;
+        for (const auto &row : vert_)
+            for (const auto &ch : row)
+                vert.push_back(ch.get());
+        std::vector<const DataChannel *> horiz;
+        for (const auto &row : horiz_)
+            for (const auto &ch : row)
+                horiz.push_back(ch.get());
+        std::vector<const MsgChannel *> msgs;
+        for (const auto &m : msg_)
+            msgs.push_back(m.get());
+        accountant_ = std::make_unique<obs::CycleAccountant>(
+            std::move(orchs), std::move(pes), std::move(pipes),
+            std::move(vert), std::move(horiz), std::move(msgs),
+            col->options().sampleEvery);
+        sim_.addTyped(accountant_.get());
+    }
     const Cycle elapsed = sim_.run([this] { return done(); }, max_cycles);
     if (col) {
         if (sampler_)
             sampler_->captureFinal();
-        col->recordFabricRun(stats_, elapsed,
-                             sampler_ ? sampler_->take()
-                                      : obs::SeriesSet{});
+        obs::SeriesSet series =
+            sampler_ ? sampler_->take() : obs::SeriesSet{};
+        obs::AccountingSet accounting;
+        if (accountant_) {
+            accountant_->captureFinal();
+            obs::SeriesSet acct = accountant_->takeSeries();
+            for (auto &s : acct.series)
+                series.series.push_back(std::move(s));
+            accounting = accountant_->take();
+        }
+        col->recordFabricRun(stats_, elapsed, std::move(series),
+                             std::move(accounting));
     }
     return elapsed;
 }

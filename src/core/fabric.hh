@@ -39,6 +39,7 @@ namespace canon
 namespace obs
 {
 class CycleSampler;
+class CycleAccountant;
 }
 
 class CanonFabric
@@ -54,7 +55,7 @@ class CanonFabric
     explicit CanonFabric(const CanonConfig &cfg,
                          std::uint64_t reg_shuffle_seed = 0);
 
-    /** Out of line: sampler_ is incomplete here. */
+    /** Out of line: sampler_/accountant_ are incomplete here. */
     ~CanonFabric();
 
     const CanonConfig &config() const { return cfg_; }
@@ -96,6 +97,12 @@ class CanonFabric
     Orchestrator &orch(int r);
     const Orchestrator &orch(int r) const;
     StatGroup &stats() { return stats_; }
+
+    /** Live tick-schedule partitions (zero-cost-when-off tests). */
+    std::size_t schedulePartitions() const
+    {
+        return sim_.partitionCount();
+    }
 
     /** Lane-MAC utilization: useful MAC lanes / (lanes * cycles). */
     double utilization() const;
@@ -156,6 +163,14 @@ class CanonFabric
      * a non-observed fabric's schedule is untouched.
      */
     std::unique_ptr<obs::CycleSampler> sampler_;
+
+    /**
+     * Per-component cycle accountant (obs/accounting.hh), constructed
+     * and registered in run() only when the observing collector asked
+     * for --cycle-accounting -- same structural zero-cost contract as
+     * the sampler.
+     */
+    std::unique_ptr<obs::CycleAccountant> accountant_;
 
     std::uint64_t shuffleSeed_ = 0;
     bool loaded_ = false;

@@ -1,6 +1,9 @@
 #include "engine/common_flags.hh"
 
 #include <charconv>
+#include <filesystem>
+
+#include <unistd.h>
 
 namespace canon
 {
@@ -19,6 +22,32 @@ parseInt(const std::string &s, int &out)
     return ec == std::errc() && ptr == last;
 }
 
+/**
+ * Fail-fast check for an output path: the parent directory must exist
+ * and be writable *now*, so a typo'd --trace-out errors at parse time
+ * instead of after the full simulation has run.
+ */
+std::string
+checkOutputPath(const char *flag, const std::string &path)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const fs::path p(path);
+    fs::path dir = p.parent_path();
+    if (dir.empty())
+        dir = ".";
+    if (!fs::is_directory(dir, ec))
+        return std::string("option '") + flag + "': directory '" +
+               dir.string() + "' does not exist";
+    if (::access(dir.c_str(), W_OK) != 0)
+        return std::string("option '") + flag + "': directory '" +
+               dir.string() + "' is not writable";
+    if (fs::is_directory(p, ec))
+        return std::string("option '") + flag + "': '" + path +
+               "' is a directory";
+    return {};
+}
+
 } // namespace
 
 bool
@@ -27,7 +56,14 @@ isCommonFlag(const std::string &key)
     return key == "--jobs" || key == "--shard" ||
            key == "--cache-dir" || key == "--cache" ||
            key == "--sample-every" || key == "--series-out" ||
-           key == "--trace-out" || key == "--stats-json";
+           key == "--trace-out" || key == "--stats-json" ||
+           isCommonBoolFlag(key);
+}
+
+bool
+isCommonBoolFlag(const std::string &key)
+{
+    return key == "--cycle-accounting" || key == "--host-timers";
 }
 
 FlagParse
@@ -103,6 +139,17 @@ parseCommonFlag(const std::string &key, const std::string &value,
         out.obs.statsJsonOut = value;
         return FlagParse::Ok;
     }
+    if (key == "--cycle-accounting" || key == "--host-timers") {
+        if (!value.empty()) {
+            error = "option '" + key + "' takes no value";
+            return FlagParse::Error;
+        }
+        if (key == "--cycle-accounting")
+            out.obs.cycleAccounting = true;
+        else
+            out.obs.hostTimers = true;
+        return FlagParse::Ok;
+    }
     return FlagParse::NotCommon;
 }
 
@@ -117,6 +164,21 @@ validateCommonFlags(const CommonFlags &flags)
         flags.obs.traceOut.empty() && flags.obs.statsJsonOut.empty())
         return "option '--sample-every' requires an output flag"
                " (--series-out, --trace-out, or --stats-json)";
+    if (!flags.obs.seriesOut.empty())
+        if (std::string err =
+                checkOutputPath("--series-out", flags.obs.seriesOut);
+            !err.empty())
+            return err;
+    if (!flags.obs.traceOut.empty())
+        if (std::string err =
+                checkOutputPath("--trace-out", flags.obs.traceOut);
+            !err.empty())
+            return err;
+    if (!flags.obs.statsJsonOut.empty())
+        if (std::string err =
+                checkOutputPath("--stats-json", flags.obs.statsJsonOut);
+            !err.empty())
+            return err;
     return {};
 }
 

@@ -71,12 +71,20 @@ enum class FlagParse : int
 bool isCommonFlag(const std::string &key);
 
 /**
+ * True for the common keys that take no value (--cycle-accounting,
+ * --host-timers). Callers skip value lookahead for these and offer
+ * them to parseCommonFlag with an empty value.
+ */
+bool isCommonBoolFlag(const std::string &key);
+
+/**
  * Offer one already-split "--key" / value pair to the common grammar.
  * Recognizes --jobs, --shard, --cache-dir, --cache, and the
- * observability keys --sample-every, --series-out, --trace-out, and
- * --stats-json (the caller handles --key=value splitting and value
- * lookahead). On Error, @p error holds the message; on NotCommon
- * nothing is touched.
+ * observability keys --sample-every, --series-out, --trace-out,
+ * --stats-json, --cycle-accounting, and --host-timers (the caller
+ * handles --key=value splitting and value lookahead; boolean keys
+ * are offered with an empty value). On Error, @p error holds the
+ * message; on NotCommon nothing is touched.
  */
 FlagParse parseCommonFlag(const std::string &key,
                           const std::string &value, CommonFlags &out,
@@ -85,8 +93,11 @@ FlagParse parseCommonFlag(const std::string &key,
 /**
  * Cross-flag validation, called once after the last flag: --cache
  * without --cache-dir, --series-out without --sample-every, and
- * --sample-every without any output flag are usage errors. Returns an
- * empty string on success, otherwise the message.
+ * --sample-every without any output flag are usage errors, and every
+ * obs output path (--series-out/--trace-out/--stats-json) must name a
+ * file in an existing writable directory -- checked here so a bad
+ * path fails before the simulation runs, not after. Returns an empty
+ * string on success, otherwise the message.
  */
 std::string validateCommonFlags(const CommonFlags &flags);
 

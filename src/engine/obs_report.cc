@@ -5,6 +5,7 @@
 #include <functional>
 #include <ostream>
 
+#include "common/table.hh"
 #include "obs/json.hh"
 #include "obs/series.hh"
 #include "obs/trace.hh"
@@ -53,6 +54,19 @@ scenarioDuration(const ObsScenario &s)
     for (const auto &[_, profile] : s.cases)
         mx = std::max(mx, profile.cycles);
     return mx;
+}
+
+/**
+ * "<abs> <pct>%" cell: integer-only percent with one decimal digit
+ * (round half up), so the rendered table is deterministic.
+ */
+std::string
+catCell(std::uint64_t v, std::uint64_t total)
+{
+    const std::uint64_t pm =
+        total == 0 ? 0 : (v * 1000 + total / 2) / total;
+    return Table::fmtInt(v) + " " + std::to_string(pm / 10) + "." +
+           std::to_string(pm % 10) + "%";
 }
 
 } // namespace
@@ -237,6 +251,72 @@ ObsReport::writeTrace(std::ostream &os) const
     obs::writeChromeTrace(os, ev);
 }
 
+bool
+ObsReport::hasAccounting() const
+{
+    for (const ObsScenario &s : scenarios_) {
+        if (!s.obs)
+            continue;
+        for (const auto &run : s.obs->runs)
+            if (!run.accounting.empty())
+                return true;
+    }
+    return false;
+}
+
+void
+ObsReport::writeAccounting(std::ostream &os) const
+{
+    for (const ObsScenario &s : scenarios_) {
+        if (!s.obs)
+            continue;
+        for (std::size_t p = 0; p < s.obs->runs.size(); ++p) {
+            const obs::AccountingSet &acct =
+                s.obs->runs[p].accounting;
+            if (acct.empty())
+                continue;
+
+            std::string title =
+                "Cycle accounting -- scenario " +
+                std::to_string(s.index);
+            if (!s.point.empty())
+                title += " (" + s.point + ")";
+            if (s.obs->runs.size() > 1)
+                title += ", pass " + std::to_string(p);
+            title += ": " + Table::fmtInt(acct.cycles) +
+                     " observed cycles";
+
+            Table t(title);
+            std::vector<std::string> head{"Component", "Cycles"};
+            for (int c = 0; c < obs::kCycleCatCount; ++c)
+                head.push_back(obs::cycleCatName(c));
+            t.header(std::move(head));
+
+            // Fabric rollup first, then every component.
+            obs::ComponentAccount fabric;
+            fabric.component = "fabric";
+            for (const auto &comp : acct.components)
+                for (int c = 0; c < obs::kCycleCatCount; ++c)
+                    fabric.cycles[static_cast<std::size_t>(c)] +=
+                        comp.cycles[static_cast<std::size_t>(c)];
+            auto addRow = [&t](const obs::ComponentAccount &a) {
+                const std::uint64_t total = a.total();
+                std::vector<std::string> row{a.component,
+                                             Table::fmtInt(total)};
+                for (int c = 0; c < obs::kCycleCatCount; ++c)
+                    row.push_back(catCell(
+                        a.cycles[static_cast<std::size_t>(c)],
+                        total));
+                t.addRow(std::move(row));
+            };
+            addRow(fabric);
+            for (const auto &comp : acct.components)
+                addRow(comp);
+            t.print(os);
+        }
+    }
+}
+
 void
 ObsReport::writeStatsJson(std::ostream &os) const
 {
@@ -244,7 +324,7 @@ ObsReport::writeStatsJson(std::ostream &os) const
         return;
     obs::JsonWriter w(os);
     w.beginObject();
-    w.kv("schema", "canon.stats.v1");
+    w.kv("schema", "canon.stats.v2");
     w.key("scenarios");
     w.beginArray();
     for (const ObsScenario &s : scenarios_) {
@@ -299,9 +379,59 @@ ObsReport::writeStatsJson(std::ostream &os) const
                             w.kv(k, v);
                         w.endObject();
                     }
+                    const obs::AccountingSet &acct = run.accounting;
+                    if (!acct.empty()) {
+                        w.key("accounting");
+                        w.beginObject();
+                        w.kv("cycles", acct.cycles);
+                        // An array (not an object) keeps the fixed
+                        // component order explicit.
+                        w.key("components");
+                        w.beginArray();
+                        for (const auto &comp : acct.components) {
+                            w.beginObject();
+                            w.kv("component", comp.component);
+                            for (int c = 0;
+                                 c < obs::kCycleCatCount; ++c)
+                                w.kv(obs::cycleCatName(c),
+                                     comp.cycles[static_cast<
+                                         std::size_t>(c)]);
+                            w.kv("total", comp.total());
+                            w.endObject();
+                        }
+                        w.endArray();
+                        w.endObject();
+                    }
+                    if (!acct.histograms.empty()) {
+                        w.key("histograms");
+                        w.beginArray();
+                        for (const auto &h : acct.histograms) {
+                            w.beginObject();
+                            w.kv("metric", h.metric);
+                            w.kv("component", h.component);
+                            w.kv("samples", h.hist.samples());
+                            w.key("counts");
+                            w.beginArray();
+                            for (std::uint64_t c : h.hist.counts())
+                                w.value(c);
+                            w.endArray();
+                            w.endObject();
+                        }
+                        w.endArray();
+                    }
                     w.endObject();
                 }
                 w.endArray();
+                w.endObject();
+            }
+            if (s.obs->host.measured) {
+                w.key("host");
+                w.beginObject();
+                w.kv("queueWaitUs", s.obs->host.queueWaitUs);
+                w.kv("cacheProbeUs", s.obs->host.cacheProbeUs);
+                w.kv("simUs", s.obs->host.simUs);
+                w.kv("encodeUs", s.obs->host.encodeUs);
+                w.kv("cacheStoreUs", s.obs->host.cacheStoreUs);
                 w.endObject();
             }
         }

@@ -90,8 +90,19 @@ class ObsReport
     /** The Chrome trace-event JSON document. */
     void writeTrace(std::ostream &os) const;
 
-    /** The canon.stats.v1 structured stats dump. */
+    /** The canon.stats.v2 structured stats dump. */
     void writeStatsJson(std::ostream &os) const;
+
+    /** True when any observed run recorded cycle accounting. */
+    bool hasAccounting() const;
+
+    /**
+     * Render the --cycle-accounting breakdown: per observed run, one
+     * table with a fabric rollup row plus per-component rows, each
+     * category as absolute cycles and percent of the component's
+     * observed cycles.
+     */
+    void writeAccounting(std::ostream &os) const;
 
     /**
      * Write every output file the options request. Returns an empty

@@ -112,7 +112,9 @@ class ResultSet
     /**
      * The observability report for this submission. Disabled (all
      * writers no-ops) unless the request's obs flags asked for
-     * output; see obs_report.hh.
+     * output; see obs_report.hh. Carries the per-scenario cycle
+     * accounting (--cycle-accounting) and host phase telemetry
+     * (--host-timers) alongside the series/trace/stats writers.
      */
     const ObsReport &obs() const { return obs_; }
 

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Per-component cycle accounting: every ticked cycle of every
+ * Pe / InstPipeline / Orchestrator classified into an exhaustive,
+ * mutually exclusive stall-cause taxonomy, plus occupancy histograms
+ * of the channels and tag buffers.
+ *
+ * The hard invariant: for every component, the six category counts
+ * sum *exactly* to the cycles the accountant observed -- enforced by
+ * construction (each commit pass assigns exactly one category per
+ * component) and asserted by tests and the CI obs gate.
+ *
+ * Like the CycleSampler, the accountant is a commit-only typed
+ * schedule partition that CanonFabric::run() constructs and registers
+ * only when the observing collector asked for cycle accounting
+ * (--cycle-accounting). Disabled accounting is structural: no
+ * partition exists, the cycle loop is bit-identical to an unobserved
+ * fabric's. Classification reads post-commit component state and
+ * compute-phase counter deltas, both of which are final by any commit
+ * pass, so the recorded categories -- and every artifact derived from
+ * them -- are byte-identical across --jobs values and
+ * registration-shuffle seeds.
+ *
+ * Counts accumulate for the life of the fabric (take() snapshots
+ * without resetting), mirroring the flat-stats semantics: for
+ * workloads that reuse one fabric across passes, later runs include
+ * earlier runs' cycles. The invariant is against AccountingSet::cycles
+ * (the accountant's own observed-cycle count), which equals the run's
+ * elapsed cycles for the common one-run-per-fabric scenarios.
+ */
+
+#ifndef CANON_OBS_ACCOUNTING_HH
+#define CANON_OBS_ACCOUNTING_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/hist.hh"
+#include "obs/series.hh"
+
+namespace canon
+{
+
+class Pe;
+class Orchestrator;
+class InstPipeline;
+class MsgChannel;
+struct Vec4;
+template <typename T> class ChannelFifo;
+
+namespace obs
+{
+
+/**
+ * The per-cycle classification. Exhaustive and mutually exclusive:
+ * every observed component-cycle lands in exactly one category.
+ */
+enum class CycleCat : int
+{
+    Compute = 0,                 //!< useful work issued/executed
+    StallUpstreamEmpty,          //!< waiting on inputs (starved)
+    StallDownstreamBackpressure, //!< output channel full (stalled)
+    TagSearch,                   //!< associative tag-buffer probing
+    Drain,                       //!< finishing in-flight work after
+                                 //!< the row's orchestrator is done
+    Idle,                        //!< nothing to do
+};
+
+inline constexpr int kCycleCatCount = 6;
+
+/** Stable snake_case name, used in stats JSON and series metrics. */
+const char *cycleCatName(int cat);
+
+/** One component's category totals. */
+struct ComponentAccount
+{
+    std::string component;
+    std::array<std::uint64_t, kCycleCatCount> cycles{};
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t t = 0;
+        for (std::uint64_t c : cycles)
+            t += c;
+        return t;
+    }
+
+    friend bool
+    operator==(const ComponentAccount &a, const ComponentAccount &b)
+    {
+        return a.component == b.component && a.cycles == b.cycles;
+    }
+};
+
+/** A frozen accounting snapshot of one fabric (one run record). */
+struct AccountingSet
+{
+    /** Cycles the accountant observed (== every component's total). */
+    std::uint64_t cycles = 0;
+    /**
+     * Fixed deterministic order: orchestrators (orch0...), PEs in
+     * row-major order (pe0_0...), instruction pipelines (pipe0...).
+     */
+    std::vector<ComponentAccount> components;
+    /** Occupancy / depth / search-length distributions. */
+    std::vector<HistogramOut> histograms;
+
+    bool empty() const { return components.empty(); }
+
+    friend bool
+    operator==(const AccountingSet &a, const AccountingSet &b)
+    {
+        return a.cycles == b.cycles && a.components == b.components &&
+               a.histograms == b.histograms;
+    }
+};
+
+class CycleAccountant final
+{
+  public:
+    static constexpr bool kHasTickCompute = false;
+
+    using DataChan = ChannelFifo<Vec4>;
+
+    /**
+     * Observe the given components. Vectors index components in the
+     * AccountingSet order above; a PE's row() (and a pipeline's index,
+     * one pipeline per row) selects the orchestrator whose done()
+     * drives the drain classification.
+     *
+     * @p sample_every mirrors the CycleSampler cadence: when > 0 the
+     * accountant additionally emits cumulative rollup series
+     * ("acct.*", component "fabric") captured on exactly the sampler's
+     * tick/captureFinal schedule, so the trace writer's
+     * equal-points-per-series assumption holds; histograms are then
+     * sampled at the same cadence. When 0 (accounting without
+     * sampling) no series are produced and histograms capture every
+     * cycle.
+     */
+    CycleAccountant(std::vector<const Orchestrator *> orchs,
+                    std::vector<const Pe *> pes,
+                    std::vector<const InstPipeline *> pipes,
+                    std::vector<const DataChan *> vert,
+                    std::vector<const DataChan *> horiz,
+                    std::vector<const MsgChannel *> msgs,
+                    std::uint64_t sample_every);
+
+    void tickCompute() {}
+    void tickCommit();
+
+    /** Record the final partial-interval series sample (see sampler). */
+    void captureFinal();
+
+    /** Cycles observed since registration. */
+    std::uint64_t tick() const { return tick_; }
+
+    /** Snapshot the cumulative accounts (the accountant keeps going). */
+    AccountingSet take() const;
+
+    /** Move the accumulated rollup series out (empty when cadence 0). */
+    SeriesSet takeSeries();
+
+  private:
+    void classify(std::size_t comp, CycleCat cat);
+    void captureHistograms();
+    void captureSeries();
+
+    std::vector<const Orchestrator *> orchs_;
+    std::vector<const Pe *> pes_;
+    std::vector<const InstPipeline *> pipes_;
+    std::vector<const DataChan *> vert_;
+    std::vector<const DataChan *> horiz_;
+    std::vector<const MsgChannel *> msgs_;
+
+    std::uint64_t tick_ = 0;
+
+    /** accounts_[component][category], AccountingSet order. */
+    std::vector<std::array<std::uint64_t, kCycleCatCount>> accounts_;
+
+    // Previous-cycle counter values (per-cycle deltas drive the
+    // classification and the search-length histogram).
+    std::vector<std::uint64_t> prevOrchStall_;
+    std::vector<std::uint64_t> prevOrchInst_;
+    std::vector<std::uint64_t> prevOrchSearches_;
+    std::vector<std::uint64_t> prevOrchCompares_;
+    std::vector<std::uint64_t> prevPeBusy_;
+
+    // Histograms: channel-class occupancy + per-orch distributions.
+    Histogram histVert_;
+    Histogram histHoriz_;
+    Histogram histMsg_;
+    std::vector<Histogram> histTagDepth_;  //!< per orchestrator
+    std::vector<Histogram> histSearchLen_; //!< per orchestrator
+    std::uint64_t histEvery_;
+
+    // Rollup series state (cadence > 0 only), mirroring CycleSampler.
+    std::uint64_t every_;
+    std::uint64_t lastCaptured_ = 0;
+    bool captured_ = false;
+    /** points_[kCycleCatCount] is the "acct.accounted" series. */
+    std::vector<std::vector<SeriesPoint>> points_;
+};
+
+} // namespace obs
+} // namespace canon
+
+#endif // CANON_OBS_ACCOUNTING_HH

@@ -18,13 +18,14 @@ thread_local Collector *tlsCollector = nullptr;
 
 void
 Collector::recordFabricRun(const StatGroup &stats, std::uint64_t cycles,
-                           SeriesSet series)
+                           SeriesSet series, AccountingSet accounting)
 {
     FabricRunObs run;
     run.cycles = cycles;
     run.series = std::move(series);
     if (obs_.options.wantFlatStats())
         run.flat = stats.flatten();
+    run.accounting = std::move(accounting);
     obs_.runs.push_back(std::move(run));
 }
 

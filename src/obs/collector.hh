@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/accounting.hh"
+#include "obs/host.hh"
 #include "obs/options.hh"
 #include "obs/series.hh"
 
@@ -61,6 +63,12 @@ struct FabricRunObs
      * include earlier runs' counts.
      */
     std::map<std::string, std::uint64_t> flat;
+    /**
+     * Per-component cycle accounting + occupancy histograms (empty
+     * unless --cycle-accounting is active). Cumulative like flat:
+     * later passes on a reused fabric include earlier passes.
+     */
+    AccountingSet accounting;
 };
 
 /** Everything observed while executing one scenario. */
@@ -69,6 +77,8 @@ struct ScenarioObs
     ObsOptions options;
     std::vector<FabricRunObs> runs;
     std::vector<CacheEventKind> cacheEvents;
+    /** Host wall-clock phase durations (--host-timers only). */
+    HostPhaseTimes host;
 };
 
 class Collector
@@ -81,15 +91,20 @@ class Collector
 
     const ObsOptions &options() const { return obs_.options; }
     bool sampling() const { return obs_.options.sampling(); }
+    bool accounting() const { return obs_.options.cycleAccounting; }
 
     /** Record one finished fabric run (called by CanonFabric::run). */
     void recordFabricRun(const StatGroup &stats, std::uint64_t cycles,
-                         SeriesSet series);
+                         SeriesSet series,
+                         AccountingSet accounting = {});
 
     void recordCacheEvent(CacheEventKind kind)
     {
         obs_.cacheEvents.push_back(kind);
     }
+
+    /** Attach host phase timings (called by the scenario runner). */
+    void recordHostTimes(const HostPhaseTimes &t) { obs_.host = t; }
 
     /** Freeze the observations; the collector is spent afterwards. */
     std::shared_ptr<const ScenarioObs> finish();

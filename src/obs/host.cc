@@ -1,0 +1,37 @@
+#include "obs/host.hh"
+
+#include <atomic>
+#include <chrono>
+
+namespace canon
+{
+namespace obs
+{
+
+namespace
+{
+
+std::atomic<std::uint64_t (*)()> testClock{nullptr};
+
+} // namespace
+
+std::uint64_t
+hostNowUs()
+{
+    if (auto *fn = testClock.load(std::memory_order_relaxed))
+        return fn();
+    const auto now = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            now.time_since_epoch())
+            .count());
+}
+
+void
+setHostClockForTest(std::uint64_t (*clock)())
+{
+    testClock.store(clock, std::memory_order_relaxed);
+}
+
+} // namespace obs
+} // namespace canon

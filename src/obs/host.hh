@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Host-side (wall-clock) phase telemetry for one scenario job: where
+ * the *engine* spent real time, as opposed to where the simulated
+ * fabric spent cycles.
+ *
+ * Wall-clock readings are inherently non-deterministic, so host
+ * timers sit behind their own flag (--host-timers) and are the one
+ * obs output excluded from the byte-identity contract: CI's
+ * byte-identity passes never enable them. Tests that want
+ * deterministic values install a virtual clock with
+ * setHostClockForTest().
+ *
+ * All fields are integer microseconds -- no floating point anywhere
+ * near an emitted artifact.
+ */
+
+#ifndef CANON_OBS_HOST_HH
+#define CANON_OBS_HOST_HH
+
+#include <cstdint>
+
+namespace canon
+{
+namespace obs
+{
+
+/** Per-scenario host phase durations, integer microseconds. */
+struct HostPhaseTimes
+{
+    /** True once the runner measured this scenario. */
+    bool measured = false;
+
+    /** Pool-entry to job-start: time the job waited for a worker. */
+    std::uint64_t queueWaitUs = 0;
+
+    /** Cache lookup + payload decode. */
+    std::uint64_t cacheProbeUs = 0;
+
+    /** The simulation itself (the scenario-case function). */
+    std::uint64_t simUs = 0;
+
+    /** Encoding the computed result for the cache. */
+    std::uint64_t encodeUs = 0;
+
+    /** Persisting the encoded payload (atomic temp+rename store). */
+    std::uint64_t cacheStoreUs = 0;
+};
+
+/**
+ * Monotonic host time in microseconds: the injected test clock when
+ * one is installed, otherwise std::chrono::steady_clock.
+ */
+std::uint64_t hostNowUs();
+
+/**
+ * Install a virtual clock for deterministic tests (nullptr restores
+ * the real clock). Not thread-safe against concurrent hostNowUs()
+ * callers: install before starting a pool, restore after it joins.
+ */
+void setHostClockForTest(std::uint64_t (*clock)());
+
+} // namespace obs
+} // namespace canon
+
+#endif // CANON_OBS_HOST_HH

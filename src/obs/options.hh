@@ -5,7 +5,7 @@
  * it must not pull in the stats framework, the sampler, or anything
  * above the common layer.
  *
- * All four knobs are instrumentation-only: they never change what is
+ * All knobs are instrumentation-only: they never change what is
  * simulated, what is cached (they are not part of the scenario cache
  * key), or what the stats tables render. With every knob off, the
  * instrumented paths reduce to a single branch per scenario/run -- the
@@ -42,6 +42,25 @@ struct ObsOptions
     /** Machine-readable per-scenario stats dump path. */
     std::string statsJsonOut;
 
+    /**
+     * Per-component cycle accounting (--cycle-accounting): classify
+     * every ticked cycle of every Pe/pipeline/orchestrator into the
+     * stall-cause taxonomy and record occupancy histograms. Renders a
+     * breakdown table and adds accounting sections to --stats-json /
+     * series metrics and trace counter tracks when those outputs are
+     * also requested. Off: no accountant partition is registered.
+     */
+    bool cycleAccounting = false;
+
+    /**
+     * Host-side wall-clock phase timers (--host-timers): per-scenario
+     * queue-wait / cache-probe / sim / encode / store durations,
+     * reported through --stats-json. Wall-clock readings are
+     * non-deterministic, so this is the one obs output excluded from
+     * the byte-identity contract.
+     */
+    bool hostTimers = false;
+
     bool sampling() const { return sampleEvery > 0; }
 
     /** The flat per-run stats view is only captured when dumped. */
@@ -52,7 +71,8 @@ struct ObsOptions
     enabled() const
     {
         return sampleEvery > 0 || !seriesOut.empty() ||
-               !traceOut.empty() || !statsJsonOut.empty();
+               !traceOut.empty() || !statsJsonOut.empty() ||
+               cycleAccounting || hostTimers;
     }
 };
 

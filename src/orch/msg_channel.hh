@@ -74,15 +74,7 @@ class MsgChannel final : public Clocked
      * staged, in the delay line, and in the consumer FIFO. At most
      * kMsgWindow messages may be outstanding.
      */
-    bool
-    canPush() const
-    {
-        std::size_t outstanding = fifo_.size() + (stagedValid_ ? 1 : 0);
-        for (const auto &m : delay_)
-            if (m.id != kMsgNone)
-                ++outstanding;
-        return outstanding < kMsgWindow;
-    }
+    bool canPush() const { return size() < kMsgWindow; }
 
     void
     push(const OrchMsg &m)
@@ -97,6 +89,20 @@ class MsgChannel final : public Clocked
     bool empty() const { return fifo_.empty(); }
     const OrchMsg &front() const { return fifo_.front(); }
     void pop() { fifo_.pop(); }
+
+    /**
+     * Unconsumed messages in flight: staged + delay line + consumer
+     * FIFO. This is the channel occupancy the obs histograms record.
+     */
+    std::size_t
+    size() const
+    {
+        std::size_t n = fifo_.size() + (stagedValid_ ? 1 : 0);
+        for (const auto &m : delay_)
+            if (m.id != kMsgNone)
+                ++n;
+        return n;
+    }
 
     void tickCompute() override {}
 

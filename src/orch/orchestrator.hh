@@ -88,6 +88,17 @@ class Orchestrator final : public Clocked
     const TagFifo &buffer() const { return fifo_; }
     const std::string &name() const { return name_; }
 
+    /** Counter reads for the obs cycle accountant (delta-based
+     *  per-cycle classification; see obs/accounting.hh). */
+    std::uint64_t stallCyclesValue() const
+    {
+        return stallCycles_.value();
+    }
+    std::uint64_t instIssuedValue() const
+    {
+        return instIssued_.value();
+    }
+
     void tickCompute() override;
     void tickCommit() override {}
 

@@ -74,6 +74,12 @@ class TagFifo
     /** Will the next push exceed the resident budget (flush needed)? */
     bool atResidentCap() const { return size() >= residentCap(); }
 
+    /** Cost-counter reads for the obs cycle accountant (per-cycle
+     *  search/compare deltas drive the tag_search classification and
+     *  the search-length histogram). */
+    std::uint64_t searchCount() const { return searches_.value(); }
+    std::uint64_t compareCount() const { return compares_.value(); }
+
     /** Physical slot the current (unpushed) row accumulates into. */
     int
     tailSlot() const

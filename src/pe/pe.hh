@@ -72,6 +72,13 @@ class Pe final : public Clocked
     /** True iff no instruction is in flight in the pipeline. */
     bool idle() const;
 
+    /** Counter read for the obs cycle accountant (a cycle with no
+     *  busyCycles delta is an idle cycle). */
+    std::uint64_t busyCyclesValue() const
+    {
+        return busyCycles_.value();
+    }
+
     int row() const { return geo_.row; }
     int col() const { return geo_.col; }
 

@@ -8,6 +8,7 @@
 
 #include "cache/key.hh"
 #include "cache/payload.hh"
+#include "obs/host.hh"
 
 namespace canon
 {
@@ -87,6 +88,16 @@ ScenarioPool::run(
         }
     };
 
+    // Host phase timers (--host-timers) reference the pool's entry
+    // time for the queue-wait measure. One clock read, taken only
+    // when some job actually asked for host telemetry.
+    std::uint64_t pool_t0 = 0;
+    for (const auto &j : jobs)
+        if (j.options.common.obs.hostTimers) {
+            pool_t0 = obs::hostNowUs();
+            break;
+        }
+
     forEach(jobs.size(), [&](std::size_t i) {
         ScenarioResult &r = results[i];
 
@@ -100,9 +111,19 @@ ScenarioPool::run(
             col.emplace(obs_opt);
             scope.emplace(*col);
         }
+
+        const bool timing = obs_opt.hostTimers;
+        obs::HostPhaseTimes host;
+        if (timing) {
+            host.measured = true;
+            host.queueWaitUs = obs::hostNowUs() - pool_t0;
+        }
+
         auto seal = [&] {
             if (!col)
                 return;
+            if (timing)
+                col->recordHostTimes(host);
             scope.reset();
             r.obs = col->finish();
         };
@@ -113,20 +134,27 @@ ScenarioPool::run(
         if (store && store->readsEnabled()) {
             if (col)
                 col->recordCacheEvent(obs::CacheEventKind::Probe);
+            const std::uint64_t t0 = timing ? obs::hostNowUs() : 0;
+            bool hit = false;
             if (auto payload = store->lookup(key)) {
                 // An undecodable or empty entry (external corruption;
                 // torn files cannot happen) falls through to a
                 // recompute instead of failing the scenario.
                 if (cache::decodeCaseResult(*payload, r.cases) &&
-                    !r.cases.empty()) {
-                    store->recordHit();
-                    if (col)
-                        col->recordCacheEvent(obs::CacheEventKind::Hit);
-                    seal();
-                    emitReady(i);
-                    return;
-                }
-                r.cases.clear();
+                    !r.cases.empty())
+                    hit = true;
+                else
+                    r.cases.clear();
+            }
+            if (timing)
+                host.cacheProbeUs = obs::hostNowUs() - t0;
+            if (hit) {
+                store->recordHit();
+                if (col)
+                    col->recordCacheEvent(obs::CacheEventKind::Hit);
+                seal();
+                emitReady(i);
+                return;
             }
         }
 
@@ -135,6 +163,7 @@ ScenarioPool::run(
             if (col)
                 col->recordCacheEvent(obs::CacheEventKind::Miss);
         }
+        const std::uint64_t t_sim = timing ? obs::hostNowUs() : 0;
         try {
             r.cases = fn(jobs[i].options);
             if (r.cases.empty())
@@ -144,11 +173,22 @@ ScenarioPool::run(
         } catch (...) {
             r.error = "unknown exception";
         }
+        if (timing)
+            host.simUs = obs::hostNowUs() - t_sim;
 
         // Only successful scenarios are worth remembering; a failure
         // should re-run (and re-report) next time.
         if (store && store->writesEnabled() && r.error.empty()) {
-            store->store(key, cache::encodeCaseResult(r.cases));
+            const std::uint64_t t_enc = timing ? obs::hostNowUs() : 0;
+            const std::string payload =
+                cache::encodeCaseResult(r.cases);
+            const std::uint64_t t_store =
+                timing ? obs::hostNowUs() : 0;
+            if (timing)
+                host.encodeUs = t_store - t_enc;
+            store->store(key, payload);
+            if (timing)
+                host.cacheStoreUs = obs::hostNowUs() - t_store;
             if (col)
                 col->recordCacheEvent(obs::CacheEventKind::Store);
         }

@@ -59,6 +59,16 @@ class Simulator
 
     Cycle now() const { return now_; }
 
+    /**
+     * Live schedule partitions (typed + residual). Tests use this to
+     * pin the structural zero-cost-when-off contract: an unobserved
+     * run must register exactly the partitions a pre-obs fabric had.
+     */
+    std::size_t partitionCount() const
+    {
+        return schedule_.partitionCount();
+    }
+
     /** Advance exactly one cycle. */
     void
     step()

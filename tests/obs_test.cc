@@ -24,12 +24,17 @@
 
 #include "cli/options.hh"
 #include "common/rng.hh"
+#include "common/stats.hh"
 #include "core/fabric.hh"
 #include "engine/common_flags.hh"
 #include "engine/engine.hh"
 #include "engine/obs_report.hh"
 #include "kernels/spmm.hh"
+#include "obs/accounting.hh"
 #include "obs/collector.hh"
+#include "obs/hist.hh"
+#include "obs/host.hh"
+#include "obs/sampler.hh"
 #include "obs/series.hh"
 #include "sparse/generate.hh"
 
@@ -98,6 +103,66 @@ TEST(ObsFlags, OutputPathsParseAndRejectEmpty)
     }
 }
 
+TEST(ObsFlags, BooleanFlagsParseAndRejectValues)
+{
+    EXPECT_TRUE(engine::isCommonFlag("--cycle-accounting"));
+    EXPECT_TRUE(engine::isCommonFlag("--host-timers"));
+    EXPECT_TRUE(engine::isCommonBoolFlag("--cycle-accounting"));
+    EXPECT_TRUE(engine::isCommonBoolFlag("--host-timers"));
+    EXPECT_FALSE(engine::isCommonBoolFlag("--sample-every"));
+    EXPECT_FALSE(engine::isCommonBoolFlag("--series-out"));
+
+    engine::CommonFlags f;
+    EXPECT_EQ(offer("--cycle-accounting", "", f),
+              engine::FlagParse::Ok);
+    EXPECT_TRUE(f.obs.cycleAccounting);
+    EXPECT_EQ(offer("--host-timers", "", f), engine::FlagParse::Ok);
+    EXPECT_TRUE(f.obs.hostTimers);
+
+    // Boolean knobs take no value: --cycle-accounting=on is a typo,
+    // not a request.
+    for (const char *key : {"--cycle-accounting", "--host-timers"}) {
+        engine::CommonFlags g;
+        std::string err;
+        EXPECT_EQ(engine::parseCommonFlag(key, "on", g, err),
+                  engine::FlagParse::Error)
+            << key;
+        EXPECT_FALSE(err.empty()) << key;
+    }
+}
+
+TEST(ObsFlags, OutputPathParentsValidatedAtParseTime)
+{
+    // A typo'd directory fails fast, before anything simulates.
+    for (const char *key :
+         {"--series-out", "--trace-out", "--stats-json"}) {
+        engine::CommonFlags f;
+        f.obs.sampleEvery = 10;
+        const std::string path =
+            "no-such-canon-dir-xyzzy/out.dat";
+        if (std::string(key) == "--series-out")
+            f.obs.seriesOut = path;
+        else if (std::string(key) == "--trace-out")
+            f.obs.traceOut = path;
+        else
+            f.obs.statsJsonOut = path;
+        const std::string err = engine::validateCommonFlags(f);
+        EXPECT_FALSE(err.empty()) << key;
+        EXPECT_NE(err.find("does not exist"), std::string::npos)
+            << err;
+    }
+
+    // A bare filename writes into the (writable) cwd: fine.
+    engine::CommonFlags ok;
+    ok.obs.statsJsonOut = "ok.json";
+    EXPECT_TRUE(engine::validateCommonFlags(ok).empty());
+
+    // An existing directory is not a writable file target.
+    engine::CommonFlags dir;
+    dir.obs.statsJsonOut = ".";
+    EXPECT_FALSE(engine::validateCommonFlags(dir).empty());
+}
+
 TEST(ObsFlags, CrossValidation)
 {
     // --series-out needs a cadence to sample at.
@@ -128,6 +193,113 @@ TEST(ObsOptions, DisabledByDefault)
     EXPECT_FALSE(opt.enabled());
     EXPECT_FALSE(opt.sampling());
     EXPECT_FALSE(opt.wantFlatStats());
+    EXPECT_FALSE(opt.cycleAccounting);
+    EXPECT_FALSE(opt.hostTimers);
+}
+
+TEST(ObsOptions, AccountingAloneEnables)
+{
+    obs::ObsOptions opt;
+    opt.cycleAccounting = true;
+    EXPECT_TRUE(opt.enabled());
+    EXPECT_FALSE(opt.sampling());
+
+    obs::ObsOptions timers;
+    timers.hostTimers = true;
+    EXPECT_TRUE(timers.enabled());
+}
+
+// ---------------------------------------------------------------------
+// Histogram bucket scheme.
+// ---------------------------------------------------------------------
+
+TEST(Histogram, BucketEdges)
+{
+    using obs::Histogram;
+    EXPECT_EQ(Histogram::bucketOf(0), 0);
+    EXPECT_EQ(Histogram::bucketOf(1), 1);
+    EXPECT_EQ(Histogram::bucketOf(2), 2);
+    EXPECT_EQ(Histogram::bucketOf(3), 2);
+    EXPECT_EQ(Histogram::bucketOf(4), 3);
+    EXPECT_EQ(Histogram::bucketOf(7), 3);
+    EXPECT_EQ(Histogram::bucketOf(32767), Histogram::kBuckets - 2);
+    EXPECT_EQ(Histogram::bucketOf(32768), Histogram::kBuckets - 1);
+    // Overflow clamps into the last bucket instead of falling off.
+    EXPECT_EQ(Histogram::bucketOf(std::uint64_t(1) << 40),
+              Histogram::kBuckets - 1);
+
+    // Every bucket's lower bound lands in that bucket, and the value
+    // just below it lands in the previous one.
+    for (int b = 1; b < Histogram::kBuckets; ++b) {
+        EXPECT_EQ(Histogram::bucketOf(Histogram::bucketLo(b)), b);
+        EXPECT_EQ(Histogram::bucketOf(Histogram::bucketLo(b) - 1),
+                  b - 1);
+    }
+}
+
+TEST(Histogram, RecordCountsAndLabels)
+{
+    obs::Histogram h;
+    h.record(0);
+    h.record(1);
+    h.record(5);
+    h.record(5);
+    EXPECT_EQ(h.samples(), 4u);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(3), 2u);
+
+    EXPECT_EQ(obs::Histogram::bucketLabel(0), "0");
+    EXPECT_EQ(obs::Histogram::bucketLabel(1), "1");
+    EXPECT_EQ(obs::Histogram::bucketLabel(2), "2-3");
+    EXPECT_EQ(obs::Histogram::bucketLabel(obs::Histogram::kBuckets -
+                                          1),
+              "32768+");
+}
+
+// ---------------------------------------------------------------------
+// Sampler cadence edges (driven directly, no fabric).
+// ---------------------------------------------------------------------
+
+TEST(Sampler, ExactCadenceMultipleSamplesOnceAtRunEnd)
+{
+    // 10 cycles at --sample-every 5: samples at 5 and 10, and the
+    // final-interval capture must notice cycle 10 is already sampled
+    // instead of duplicating it.
+    StatGroup stats("fabric");
+    Counter &c = stats.counter("macOps");
+    obs::CycleSampler s(stats, 5);
+    for (int i = 0; i < 10; ++i) {
+        ++c;
+        s.tickCommit();
+    }
+    s.captureFinal();
+    const auto set = s.take();
+    ASSERT_EQ(set.series.size(), 1u);
+    const auto &pts = set.series[0].points;
+    ASSERT_EQ(pts.size(), 2u);
+    EXPECT_EQ(pts[0].cycle, 5u);
+    EXPECT_EQ(pts[0].value, 5u);
+    EXPECT_EQ(pts[1].cycle, 10u);
+    EXPECT_EQ(pts[1].value, 10u);
+}
+
+TEST(Sampler, RunShorterThanOneCadenceStillGetsFinalSample)
+{
+    StatGroup stats("fabric");
+    Counter &c = stats.counter("macOps");
+    obs::CycleSampler s(stats, 100);
+    for (int i = 0; i < 3; ++i) {
+        ++c;
+        s.tickCommit();
+    }
+    s.captureFinal();
+    const auto set = s.take();
+    ASSERT_EQ(set.series.size(), 1u);
+    const auto &pts = set.series[0].points;
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_EQ(pts[0].cycle, 3u);
+    EXPECT_EQ(pts[0].value, 3u);
 }
 
 // ---------------------------------------------------------------------
@@ -272,6 +444,170 @@ TEST(Sampler, ObservationDoesNotPerturbTheRun)
     EXPECT_EQ(off.flat, on.flat);
     EXPECT_EQ(off.obs, nullptr);
     EXPECT_EQ(obs::current(), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Cycle accounting on a live fabric.
+// ---------------------------------------------------------------------
+
+/** sampledRun with --cycle-accounting on (and optional sampling). */
+ObservedRun
+accountedRun(std::uint64_t shuffle_seed, bool sample = true)
+{
+    CanonConfig cfg;
+    cfg.rows = 2;
+    cfg.cols = 2;
+    cfg.spadEntries = 4;
+    Rng rng(77);
+    const auto a = randomSparse(32, 16, 0.5, rng);
+    const auto b = randomDense(16, 8, rng);
+
+    obs::ObsOptions opt;
+    opt.cycleAccounting = true;
+    opt.statsJsonOut = "unused.json";
+    if (sample) {
+        opt.sampleEvery = 25;
+        opt.seriesOut = "unused.csv";
+    }
+
+    ObservedRun out;
+    CanonFabric fabric(cfg, shuffle_seed);
+    fabric.load(mapSpmm(CsrMatrix::fromDense(a), b, cfg));
+    obs::Collector col(opt);
+    {
+        obs::ScopedCollector scope(col);
+        out.cycles = fabric.run();
+    }
+    out.obs = col.finish();
+    out.result = fabric.result();
+    out.flat = fabric.stats().flatten();
+    return out;
+}
+
+TEST(Accounting, CategoriesSumExactlyToObservedCycles)
+{
+    const auto run = accountedRun(0);
+    ASSERT_EQ(run.obs->runs.size(), 1u);
+    const auto &acct = run.obs->runs[0].accounting;
+    ASSERT_FALSE(acct.empty());
+    EXPECT_EQ(acct.cycles, run.cycles);
+
+    // 2x2 fabric: 2 orchestrators, 4 PEs, 2 pipelines, in the fixed
+    // orchs / row-major PEs / pipes order.
+    ASSERT_EQ(acct.components.size(), 8u);
+    EXPECT_EQ(acct.components[0].component, "orch0");
+    EXPECT_EQ(acct.components[1].component, "orch1");
+    EXPECT_EQ(acct.components[2].component, "pe0_0");
+    EXPECT_EQ(acct.components[5].component, "pe1_1");
+    EXPECT_EQ(acct.components[6].component, "pipe0");
+    EXPECT_EQ(acct.components[7].component, "pipe1");
+
+    // The invariant: six mutually exclusive categories, summing
+    // exactly to the observed cycles for every component.
+    for (const auto &comp : acct.components)
+        EXPECT_EQ(comp.total(), acct.cycles) << comp.component;
+}
+
+TEST(Accounting, IdenticalAcrossRegistrationShuffles)
+{
+    const auto ref = accountedRun(0);
+    ASSERT_EQ(ref.obs->runs.size(), 1u);
+    for (std::uint64_t seed : {1ull, 12345ull}) {
+        const auto got = accountedRun(seed);
+        ASSERT_EQ(got.obs->runs.size(), 1u);
+        EXPECT_EQ(got.obs->runs[0].accounting,
+                  ref.obs->runs[0].accounting)
+            << "seed " << seed;
+    }
+}
+
+TEST(Accounting, HistogramsPopulatedInFixedOrder)
+{
+    const auto run = accountedRun(0);
+    const auto &hists = run.obs->runs[0].accounting.histograms;
+    // 3 channel-class occupancy + 2 tagDepth + 2 searchLen.
+    ASSERT_EQ(hists.size(), 7u);
+    EXPECT_EQ(hists[0].metric, "occupancy");
+    EXPECT_EQ(hists[0].component, "vert");
+    EXPECT_EQ(hists[1].component, "horiz");
+    EXPECT_EQ(hists[2].component, "msg");
+    EXPECT_EQ(hists[3].metric, "tagDepth");
+    EXPECT_EQ(hists[3].component, "orch0");
+    EXPECT_EQ(hists[5].metric, "searchLen");
+    EXPECT_EQ(hists[5].component, "orch0");
+
+    // Occupancy sampled on the cadence: one sample per channel per
+    // captured cycle, so the counts sum to samples().
+    EXPECT_GT(hists[0].hist.samples(), 0u);
+    for (const auto &h : hists) {
+        std::uint64_t sum = 0;
+        for (std::uint64_t c : h.hist.counts())
+            sum += c;
+        EXPECT_EQ(sum, h.hist.samples())
+            << h.metric << "/" << h.component;
+    }
+}
+
+TEST(Accounting, RollupSeriesSumToAccounted)
+{
+    const auto run = accountedRun(0);
+    const auto &set = run.obs->runs[0].series;
+    std::map<std::uint64_t, std::uint64_t> cat_sum, accounted;
+    for (const auto &s : set.series) {
+        if (s.metric.rfind("acct.", 0) != 0)
+            continue;
+        EXPECT_EQ(s.component, "fabric") << s.metric;
+        for (const auto &p : s.points) {
+            if (s.metric == "acct.accounted")
+                accounted[p.cycle] = p.value;
+            else
+                cat_sum[p.cycle] += p.value;
+        }
+    }
+    ASSERT_FALSE(accounted.empty());
+    // At every sampled cycle the six categories sum to the accounted
+    // rollup, which itself is components x elapsed cycles.
+    EXPECT_EQ(cat_sum, accounted);
+    EXPECT_EQ(accounted.rbegin()->second, 8u * run.cycles);
+}
+
+TEST(Accounting, ObservationDoesNotPerturbTheRun)
+{
+    const auto off = sampledRun(0, false);
+    const auto on = accountedRun(0);
+    EXPECT_EQ(off.cycles, on.cycles);
+    EXPECT_EQ(off.result, on.result);
+    EXPECT_EQ(off.flat, on.flat);
+}
+
+TEST(Accounting, DisabledRunRegistersNoExtraPartitions)
+{
+    // Zero-cost-when-off is structural: without --cycle-accounting no
+    // accountant partition exists; with it, exactly one more.
+    auto partitions = [](bool accounting) {
+        CanonConfig cfg;
+        cfg.rows = 2;
+        cfg.cols = 2;
+        cfg.spadEntries = 4;
+        Rng rng(77);
+        const auto a = randomSparse(32, 16, 0.5, rng);
+        const auto b = randomDense(16, 8, rng);
+        CanonFabric fabric(cfg, 0);
+        fabric.load(mapSpmm(CsrMatrix::fromDense(a), b, cfg));
+        if (accounting) {
+            obs::ObsOptions opt;
+            opt.cycleAccounting = true;
+            opt.statsJsonOut = "unused.json";
+            obs::Collector col(opt);
+            obs::ScopedCollector scope(col);
+            fabric.run();
+        } else {
+            fabric.run();
+        }
+        return fabric.schedulePartitions();
+    };
+    const std::size_t base = partitions(false);
+    EXPECT_EQ(partitions(true), base + 1);
 }
 
 // ---------------------------------------------------------------------
@@ -496,7 +832,7 @@ class JsonReader
  * exercising the policy grammar through the full engine/obs path.
  */
 engine::ScenarioRequest
-obsSweepRequest(bool policy_axes = false)
+obsSweepRequest(bool policy_axes = false, bool accounting = false)
 {
     cli::Options opt;
     opt.m = 32;
@@ -514,6 +850,7 @@ obsSweepRequest(bool policy_axes = false)
     opt.common.obs.seriesOut = "unused-s.csv";
     opt.common.obs.traceOut = "unused-t.json";
     opt.common.obs.statsJsonOut = "unused-j.json";
+    opt.common.obs.cycleAccounting = accounting;
     return engine::ScenarioRequest::fromOptions(opt);
 }
 
@@ -580,6 +917,138 @@ TEST(ObsReport, ArtifactsByteIdenticalAcrossJobsUnderPolicyAxes)
     EXPECT_EQ(a1.series, a4.series);
     EXPECT_EQ(a1.trace, a4.trace);
     EXPECT_EQ(a1.stats, a4.stats);
+}
+
+TEST(ObsReport, AccountingArtifactsByteIdenticalAcrossJobs)
+{
+    engine::Engine one(engine::EngineConfig{.jobs = 1});
+    engine::Engine four(engine::EngineConfig{.jobs = 4});
+    const auto rs1 = one.run(obsSweepRequest(false, true));
+    const auto rs4 = four.run(obsSweepRequest(false, true));
+    ASSERT_TRUE(rs1.ok()) << rs1.error();
+    ASSERT_TRUE(rs4.ok()) << rs4.error();
+    ASSERT_TRUE(rs1.obs().hasAccounting());
+    ASSERT_TRUE(rs4.obs().hasAccounting());
+
+    const auto a1 = renderArtifacts(rs1);
+    const auto a4 = renderArtifacts(rs4);
+    EXPECT_EQ(a1.series, a4.series);
+    EXPECT_EQ(a1.trace, a4.trace);
+    EXPECT_EQ(a1.stats, a4.stats);
+
+    // The rendered breakdown table is part of the byte contract too.
+    std::ostringstream t1, t4;
+    rs1.obs().writeAccounting(t1);
+    rs4.obs().writeAccounting(t4);
+    EXPECT_FALSE(t1.str().empty());
+    EXPECT_EQ(t1.str(), t4.str());
+    // One table per scenario, fabric rollup row in each.
+    EXPECT_NE(t1.str().find("Cycle accounting -- scenario 0"),
+              std::string::npos);
+    EXPECT_NE(t1.str().find("fabric"), std::string::npos);
+}
+
+TEST(ObsReport, StatsJsonCarriesAccountingWithSumInvariant)
+{
+    engine::Engine eng(engine::EngineConfig{.jobs = 2});
+    const auto rs = eng.run(obsSweepRequest(false, true));
+    ASSERT_TRUE(rs.ok()) << rs.error();
+    std::ostringstream os;
+    rs.obs().writeStatsJson(os);
+
+    Json doc = JsonReader(os.str()).parse();
+    EXPECT_EQ(doc.at("schema").str, "canon.stats.v2");
+    std::size_t components_checked = 0;
+    for (const Json &s : doc.at("scenarios").arr) {
+        for (const Json &r : s.at("sim").at("runs").arr) {
+            ASSERT_TRUE(r.has("accounting"));
+            const Json &acct = r.at("accounting");
+            const double cycles = acct.at("cycles").num;
+            EXPECT_GT(cycles, 0.0);
+            for (const Json &c : acct.at("components").arr) {
+                double sum = 0;
+                for (int cat = 0; cat < obs::kCycleCatCount; ++cat)
+                    sum += c.at(obs::cycleCatName(cat)).num;
+                EXPECT_EQ(sum, cycles) << c.at("component").str;
+                EXPECT_EQ(c.at("total").num, cycles)
+                    << c.at("component").str;
+                ++components_checked;
+            }
+            ASSERT_TRUE(r.has("histograms"));
+            const auto &hists = r.at("histograms").arr;
+            ASSERT_FALSE(hists.empty());
+            for (const Json &h : hists)
+                EXPECT_EQ(h.at("counts").arr.size(),
+                          static_cast<std::size_t>(
+                              obs::Histogram::kBuckets));
+        }
+    }
+    EXPECT_GT(components_checked, 0u);
+}
+
+namespace
+{
+
+std::uint64_t fake_clock_us = 0;
+
+std::uint64_t
+fakeClock()
+{
+    return fake_clock_us += 7;
+}
+
+} // namespace
+
+TEST(ObsReport, HostTimersDeterministicUnderInjectedClock)
+{
+    obs::setHostClockForTest(&fakeClock);
+    auto run_once = [] {
+        fake_clock_us = 0;
+        cli::Options opt;
+        opt.m = 16;
+        opt.k = 16;
+        opt.n = 8;
+        opt.rows = 2;
+        opt.cols = 2;
+        opt.spadEntries = 4;
+        opt.common.obs.hostTimers = true;
+        opt.common.obs.statsJsonOut = "unused-j.json";
+        engine::Engine eng(engine::EngineConfig{.jobs = 1});
+        const auto rs =
+            eng.run(engine::ScenarioRequest::fromOptions(opt));
+        EXPECT_TRUE(rs.ok()) << rs.error();
+        std::ostringstream os;
+        rs.obs().writeStatsJson(os);
+        return os.str();
+    };
+    const std::string a = run_once();
+    const std::string b = run_once();
+    obs::setHostClockForTest(nullptr);
+
+    // Same virtual clock, same call sequence: byte-identical dumps.
+    EXPECT_EQ(a, b);
+
+    Json doc = JsonReader(a).parse();
+    const Json &s = doc.at("scenarios").arr.at(0);
+    ASSERT_TRUE(s.has("host"));
+    const Json &host = s.at("host");
+    // The fake clock advances on every read, so the measured sim
+    // phase is non-zero; the uncached engine never probes or stores.
+    EXPECT_GT(host.at("simUs").num, 0.0);
+    EXPECT_EQ(host.at("cacheProbeUs").num, 0.0);
+    EXPECT_EQ(host.at("cacheStoreUs").num, 0.0);
+}
+
+TEST(ObsReport, HostTimersAbsentWithoutFlag)
+{
+    engine::Engine eng(engine::EngineConfig{.jobs = 2});
+    const auto rs = eng.run(obsSweepRequest());
+    ASSERT_TRUE(rs.ok()) << rs.error();
+    std::ostringstream os;
+    rs.obs().writeStatsJson(os);
+    Json doc = JsonReader(os.str()).parse();
+    for (const Json &s : doc.at("scenarios").arr)
+        EXPECT_FALSE(s.has("host"));
 }
 
 TEST(ObsReport, SeriesCsvShape)
@@ -661,7 +1130,7 @@ TEST(ObsReport, StatsJsonRoundTripsAgainstProfiles)
     rs.obs().writeStatsJson(os);
 
     Json doc = JsonReader(os.str()).parse();
-    EXPECT_EQ(doc.at("schema").str, "canon.stats.v1");
+    EXPECT_EQ(doc.at("schema").str, "canon.stats.v2");
     const auto &scenarios = doc.at("scenarios");
     ASSERT_EQ(scenarios.arr.size(), rs.scenarios().size());
 
