@@ -75,8 +75,10 @@ ResultStore::lookup(const ScenarioKey &key) const
 
 bool
 ResultStore::store(const ScenarioKey &key,
-                   const std::string &payload) const
+                   const std::string &payload, bool *wrote) const
 {
+    if (wrote)
+        *wrote = false;
     if (!writesEnabled())
         return true;
     const std::string final_path = entryPath(key);
@@ -107,18 +109,25 @@ ResultStore::store(const ScenarioKey &key,
         return false;
     }
     stores_.fetch_add(1, std::memory_order_relaxed);
+    if (wrote)
+        *wrote = true;
     return true;
 }
 
 std::string
-ResultStore::statsLine() const
+statsLineText(const CacheStats &s)
 {
-    const CacheStats s = stats();
     return "cache: " + std::to_string(s.hits) + " hits, " +
            std::to_string(s.misses) + " misses, " +
            std::to_string(s.stores) +
            " stored; simulation jobs executed: " +
            std::to_string(s.misses);
+}
+
+std::string
+ResultStore::statsLine() const
+{
+    return statsLineText(stats());
 }
 
 } // namespace cache

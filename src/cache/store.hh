@@ -50,6 +50,15 @@ struct CacheStats
     std::uint64_t stores = 0; //!< entries written
 };
 
+/**
+ * The canonical "cache: H hits, M misses, S stored; simulation jobs
+ * executed: M" report line for a counter snapshot -- the one format
+ * shared by the store's lifetime line and the per-request delta a
+ * ResultSet reports (warm-cache CI gates grep it, so the bytes are
+ * load-bearing).
+ */
+std::string statsLineText(const CacheStats &stats);
+
 class ResultStore
 {
   public:
@@ -105,9 +114,12 @@ class ResultStore
      * a no-op when writes are disabled by the mode. Without
      * overwrites(), an existing entry is left untouched (the bytes
      * for a given key are the same no matter who computes them).
-     * Returns false only on I/O failure. A write counts one store.
+     * Returns false only on I/O failure. A write counts one store;
+     * @p wrote (when non-null) reports whether this call actually
+     * published an entry, i.e. exactly when the store counter moved.
      */
-    bool store(const ScenarioKey &key, const std::string &payload) const;
+    bool store(const ScenarioKey &key, const std::string &payload,
+               bool *wrote = nullptr) const;
 
     /** Count one executed job (call before computing a miss). */
     void recordMiss() const

@@ -128,10 +128,40 @@ Engine::rejected(const ScenarioRequest &req) const
     return rs;
 }
 
+namespace
+{
+
+/**
+ * The per-request cache report: hit/miss/store counts attributed to
+ * exactly the results in @p results (via the pool's per-job flags),
+ * never the store's process-lifetime totals -- under a shared
+ * long-lived engine every submission must report its own delta.
+ * Cancelled jobs never touched the store, so they count as neither
+ * hits nor executed misses.
+ */
+std::string
+perRequestCacheLine(
+    const std::vector<runner::ScenarioResult> &results)
+{
+    cache::CacheStats delta;
+    for (const auto &r : results) {
+        if (r.cacheHit)
+            ++delta.hits;
+        else if (!r.cancelled())
+            ++delta.misses;
+        if (r.cacheStored)
+            ++delta.stores;
+    }
+    return cache::statsLineText(delta);
+}
+
+} // namespace
+
 ResultSet
 Engine::execute(const std::vector<runner::SweepJob> &sharded,
                 const ScenarioRequest &req, std::size_t total,
-                const ResultCallback &onResult)
+                const ResultCallback &onResult,
+                const runner::CancelToken *cancel)
 {
     ResultSet rs;
     rs.warnings_ = req.warnings();
@@ -139,9 +169,10 @@ Engine::execute(const std::vector<runner::SweepJob> &sharded,
     rs.shard_ = req.options().common.shard;
     rs.single_ =
         req.options().sweepAxes.empty() && rs.shard_.whole();
-    rs.results_ =
-        pool_.run(sharded, runScenarioCases, store(), onResult);
-    rs.cache_stats_line_ = cacheStatsLine();
+    rs.results_ = pool_.run(sharded, runScenarioCases, store(),
+                            onResult, cancel);
+    if (store())
+        rs.cache_stats_line_ = perRequestCacheLine(rs.results_);
     const obs::ObsOptions &obs_opt = req.options().common.obs;
     if (obs_opt.enabled())
         rs.obs_ = ObsReport::build(obs_opt, rs.results_, store());
@@ -149,7 +180,8 @@ Engine::execute(const std::vector<runner::SweepJob> &sharded,
 }
 
 ResultSet
-Engine::run(const ScenarioRequest &req, const ResultCallback &onResult)
+Engine::run(const ScenarioRequest &req, const ResultCallback &onResult,
+            const runner::CancelToken *cancel)
 {
     // Validate a private copy: validation caches into the request's
     // mutable members without synchronization, so a const request
@@ -175,12 +207,13 @@ Engine::run(const ScenarioRequest &req, const ResultCallback &onResult)
             jobs.begin() + static_cast<std::ptrdiff_t>(first),
             jobs.begin() + static_cast<std::ptrdiff_t>(last));
     }
-    return execute(jobs, local, total, onResult);
+    return execute(jobs, local, total, onResult, cancel);
 }
 
 std::vector<ResultSet>
 Engine::runBatch(const std::vector<ScenarioRequest> &requests,
-                 const ResultCallback &onResult)
+                 const ResultCallback &onResult,
+                 const runner::CancelToken *cancel)
 {
     // Validate and expand everything first so one global job list
     // can feed a single pool pass: concurrency then spans request
@@ -231,7 +264,7 @@ Engine::runBatch(const std::vector<ScenarioRequest> &requests,
     }
 
     std::vector<runner::ScenarioResult> results =
-        pool_.run(all, runScenarioCases, store(), onResult);
+        pool_.run(all, runScenarioCases, store(), onResult, cancel);
 
     for (std::size_t r = 0; r < local.size(); ++r) {
         if (!slices[r].runnable)
@@ -250,7 +283,8 @@ Engine::runBatch(const std::vector<ScenarioRequest> &requests,
                 results.begin() + static_cast<std::ptrdiff_t>(
                                       slices[r].first +
                                       slices[r].count)));
-        rs.cache_stats_line_ = cacheStatsLine();
+        if (store())
+            rs.cache_stats_line_ = perRequestCacheLine(rs.results_);
         const obs::ObsOptions &obs_opt =
             local[r].options().common.obs;
         if (obs_opt.enabled())

@@ -44,6 +44,7 @@
 #include "engine/common_flags.hh"
 #include "engine/request.hh"
 #include "engine/result_set.hh"
+#include "runner/cancel.hh"
 #include "runner/pool.hh"
 
 namespace canon
@@ -138,7 +139,9 @@ class Engine
     /**
      * The "cache: H hits, M misses, S stored; ..." report line;
      * empty for an uncached engine. Counters accumulate across this
-     * engine's runs.
+     * engine's runs -- the process-lifetime view. Each ResultSet
+     * carries its own per-request delta instead (the line a client
+     * of a shared, long-lived engine should report).
      */
     std::string cacheStatsLine() const;
 
@@ -148,9 +151,16 @@ class Engine
      * With @p onResult, each scenario is additionally streamed in
      * expansion order as it completes. Never throws on scenario
      * failure -- inspect the ResultSet.
+     *
+     * With a non-null @p cancel, the run observes the token between
+     * scenario jobs (runner::CancelToken): cancelled jobs land as
+     * typed kCancelledError failures at their expansion index, so a
+     * long sweep submitted by a service can be abandoned without
+     * tearing down the engine or losing already-computed results.
      */
     ResultSet run(const ScenarioRequest &req,
-                  const ResultCallback &onResult = {});
+                  const ResultCallback &onResult = {},
+                  const runner::CancelToken *cancel = nullptr);
 
     /**
      * Submit several requests as one batch: every request's sharded
@@ -158,11 +168,13 @@ class Engine
      * request boundaries), and each request gets its own ResultSet at
      * its index. An invalid request yields its InvalidRequest
      * ResultSet without blocking the others. @p onResult streams all
-     * scenarios in global (request-major) order.
+     * scenarios in global (request-major) order; @p cancel follows
+     * the run() contract across the whole batch.
      */
     std::vector<ResultSet>
     runBatch(const std::vector<ScenarioRequest> &requests,
-             const ResultCallback &onResult = {});
+             const ResultCallback &onResult = {},
+             const runner::CancelToken *cancel = nullptr);
 
     /**
      * Dry-run: the sharded scenario list @p req would execute, with
@@ -188,7 +200,8 @@ class Engine
     ResultSet rejected(const ScenarioRequest &req) const;
     ResultSet execute(const std::vector<runner::SweepJob> &sharded,
                       const ScenarioRequest &req, std::size_t total,
-                      const ResultCallback &onResult);
+                      const ResultCallback &onResult,
+                      const runner::CancelToken *cancel);
 
     EngineConfig config_;
     int workers_;

@@ -44,6 +44,16 @@ ResultSet::failureCount() const
     return n;
 }
 
+std::size_t
+ResultSet::cancelledCount() const
+{
+    std::size_t n = 0;
+    for (const auto &r : results_)
+        if (r.cancelled())
+            ++n;
+    return n;
+}
+
 Table
 ResultSet::statsTable() const
 {

@@ -94,6 +94,12 @@ class ResultSet
     /** Scenarios that produced no profiles (or threw). */
     std::size_t failureCount() const;
 
+    /**
+     * Scenarios skipped by a cancelled run (a subset of
+     * failureCount(): each carries runner::kCancelledError).
+     */
+    std::size_t cancelledCount() const;
+
     /** Single-scenario per-architecture table (requires size() 1). */
     Table statsTable() const;
 
@@ -101,8 +107,12 @@ class ResultSet
     Table sweepTable() const;
 
     /**
-     * The cache report line ("cache: H hits, ...") snapshot taken
-     * when the run finished; empty for an uncached engine.
+     * The cache report line ("cache: H hits, ...") for exactly this
+     * submission -- a per-request delta computed from each result's
+     * hit/store attribution, never the engine's process-lifetime
+     * counters, so two clients of one shared warm engine each see
+     * their own hit counts and "simulation jobs executed". Empty for
+     * an uncached engine.
      */
     const std::string &cacheStatsLine() const
     {

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Cooperative cancellation for pool runs.
+ *
+ * A CancelToken is a one-way latch shared between a submitter (who
+ * may cancel()) and the worker pool (which polls cancelled() between
+ * scenario jobs). Cancellation is cooperative and job-granular: a
+ * scenario that has already started always runs to completion -- the
+ * simulator has no preemption points -- but every job the pool has
+ * not yet started is skipped and lands in the result list as a
+ * failed ScenarioResult carrying kCancelledError at its expansion
+ * index. Skipped jobs never touch the result cache (no probe, no
+ * miss count, no store), so a cancelled sweep resumes exactly where
+ * it stopped on the next submission.
+ *
+ * Thread-safety: cancel() and cancelled() may race freely from any
+ * thread; the latch is a single relaxed atomic (workers only need to
+ * observe the flag eventually -- there is no data ordered after it).
+ */
+
+#ifndef CANON_RUNNER_CANCEL_HH
+#define CANON_RUNNER_CANCEL_HH
+
+#include <atomic>
+
+namespace canon
+{
+namespace runner
+{
+
+/** Error recorded on every job skipped by a cancelled run. */
+inline constexpr const char *kCancelledError =
+    "cancelled before execution";
+
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    // The latch is shared by address; copying one would silently
+    // split the submitter's flag from the pool's.
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Latch the token; idempotent, never blocks. */
+    void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+    bool cancelled() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+} // namespace runner
+} // namespace canon
+
+#endif // CANON_RUNNER_CANCEL_HH

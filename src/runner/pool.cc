@@ -56,7 +56,8 @@ ScenarioPool::run(
     const std::vector<SweepJob> &jobs,
     const std::function<CaseResult(const cli::Options &)> &fn,
     const cache::ResultStore *store,
-    const std::function<void(const ScenarioResult &)> &onResult) const
+    const std::function<void(const ScenarioResult &)> &onResult,
+    const CancelToken *cancel) const
 {
     std::vector<ScenarioResult> results(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i)
@@ -100,6 +101,17 @@ ScenarioPool::run(
 
     forEach(jobs.size(), [&](std::size_t i) {
         ScenarioResult &r = results[i];
+
+        // Cooperative cancel, polled once per job before any work:
+        // a cancelled run skips everything it has not started --
+        // including the cache probe, so the store's counters never
+        // see skipped jobs -- but still lands a typed failure at the
+        // job's index to keep the expansion-order contract intact.
+        if (cancel && cancel->cancelled()) {
+            r.error = kCancelledError;
+            emitReady(i);
+            return;
+        }
 
         // Observe this job when asked: the collector rides the worker
         // thread (obs::current()) so the fabric and cache layers can
@@ -150,6 +162,7 @@ ScenarioPool::run(
                 host.cacheProbeUs = obs::hostNowUs() - t0;
             if (hit) {
                 store->recordHit();
+                r.cacheHit = true;
                 if (col)
                     col->recordCacheEvent(obs::CacheEventKind::Hit);
                 seal();
@@ -186,7 +199,7 @@ ScenarioPool::run(
                 timing ? obs::hostNowUs() : 0;
             if (timing)
                 host.encodeUs = t_store - t_enc;
-            store->store(key, payload);
+            store->store(key, payload, &r.cacheStored);
             if (timing)
                 host.cacheStoreUs = obs::hostNowUs() - t_store;
             if (col)

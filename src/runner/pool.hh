@@ -48,6 +48,7 @@
 
 #include "cache/store.hh"
 #include "obs/collector.hh"
+#include "runner/cancel.hh"
 #include "runner/sweep.hh"
 #include "workloads/suite.hh"
 
@@ -66,6 +67,20 @@ struct ScenarioResult
     SweepJob job;
     CaseResult cases;
     std::string error; //!< nonempty when the scenario failed
+
+    /**
+     * How the result cache treated this job: satisfied from the
+     * store (cacheHit), or computed and written back (cacheStored).
+     * Both false for uncached runs, failures, and cancelled jobs.
+     * Per-job attribution is what lets a ResultSet report its own
+     * hit/miss/store delta even when many requests share one
+     * engine's store counters (see ResultSet::cacheStatsLine).
+     */
+    bool cacheHit = false;
+    bool cacheStored = false;
+
+    /** True when the job was skipped by a cancelled run. */
+    bool cancelled() const { return error == kCancelledError; }
 
     /**
      * Observations gathered while this scenario executed; null when
@@ -151,13 +166,20 @@ class ScenarioPool
      * throws, delivery stops, every job still runs to completion,
      * and the first exception rethrows on the caller's thread after
      * the workers have joined (it never escapes a worker thread).
+     *
+     * With a non-null @p cancel, the token is polled before each job
+     * starts: once cancelled, every not-yet-started job is skipped
+     * and recorded as a failed result carrying kCancelledError
+     * (in-flight jobs finish normally; skipped jobs never touch the
+     * store). Delivery order and result indexing are unchanged.
      */
     std::vector<ScenarioResult>
     run(const std::vector<SweepJob> &jobs,
         const std::function<CaseResult(const cli::Options &)> &fn,
         const cache::ResultStore *store = nullptr,
         const std::function<void(const ScenarioResult &)> &onResult =
-            {}) const;
+            {},
+        const CancelToken *cancel = nullptr) const;
 
     /**
      * Cache-aware map over opaque payload strings: for every index,

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * canon-rpc-1: the framed wire protocol between canond and its
+ * clients (canonctl, service::Client, any embedder speaking the
+ * frame format over a local stream socket).
+ *
+ * A frame is a 5-byte header followed by the payload bytes:
+ *
+ *     offset 0  u32 little-endian payload length N
+ *     offset 4  u8  message type (MsgType)
+ *     offset 5  N payload bytes
+ *
+ * The decoder is incremental -- feed() arbitrary chunks, next()
+ * yields complete frames -- and total: any byte sequence either
+ * yields frames, waits for more input, or stops with a *typed*
+ * error (DecodeError), never a crash or an unbounded allocation.
+ * Two properties make it safe against a hostile or broken peer:
+ *
+ *  - a declared payload length above the hard cap (kMaxFramePayload,
+ *    checked before any payload allocation) stops the stream with
+ *    DecodeError::OversizeFrame;
+ *  - an unknown type byte stops the stream with
+ *    DecodeError::UnknownType (later protocol revisions bump the
+ *    hello version instead of silently adding frame types).
+ *
+ * A decoder that has stopped stays stopped: framing is byte-exact,
+ * so there is no way to resynchronize a stream after a bad header.
+ *
+ * Payloads are newline-delimited "key=value" records (encodeKv /
+ * decodeKv): deterministic, order-preserving, duplicate keys
+ * allowed, keys free of '=' and '\n', values free of '\n'. The
+ * Submit/Plan body (SubmitBody) and the Done summary (DoneBody) are
+ * typed views over that record format.
+ *
+ * This header is a leaf on purpose: no sockets, no engine types --
+ * the codec must be testable (and fuzzable) without a daemon.
+ */
+
+#ifndef CANON_SERVICE_PROTOCOL_HH
+#define CANON_SERVICE_PROTOCOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace canon
+{
+namespace service
+{
+
+/** Protocol name + revision, exchanged in Hello/HelloAck. */
+inline constexpr const char *kProtocolName = "canon-rpc-1";
+
+/**
+ * Hard cap on a frame's payload bytes, enforced by encodeFrame
+ * (panic: a server bug) and by FrameDecoder before any allocation
+ * (typed error: a hostile or broken peer). Far above any legitimate
+ * message -- a streamed result block is a few hundred bytes -- but
+ * small enough that a malicious length field cannot balloon memory.
+ */
+inline constexpr std::size_t kMaxFramePayload = 1u << 20; // 1 MiB
+
+/** Frame header bytes: u32 length + u8 type. */
+inline constexpr std::size_t kFrameHeaderBytes = 5;
+
+enum class MsgType : std::uint8_t
+{
+    // Client -> server.
+    Hello = 1,  //!< protocol handshake: "proto=canon-rpc-1"
+    Submit = 2, //!< run a scenario request, stream results
+    Plan = 3,   //!< dry-run forecast of a scenario request
+    List = 4,   //!< the engine registry listing
+    Stats = 5,  //!< service.* counters + engine cache totals
+    Cancel = 6, //!< cancel a job by id ("job=N")
+
+    // Server -> client.
+    HelloAck = 16,    //!< handshake reply: proto, workers, cache
+    Accepted = 17,    //!< submit admitted: job id, forecast
+    Rejected = 18,    //!< submit refused: typed reason + message
+    Result = 19,      //!< one scenario outcome, expansion order
+    Done = 20,        //!< end of a submit's result stream
+    PlanReply = 21,   //!< rendered plan table + forecast line
+    ListReply = 22,   //!< rendered registry listing
+    StatsReply = 23,  //!< rendered service.* counter lines
+    CancelReply = 24, //!< "found=0|1" for a cancel request
+    Error = 25,       //!< protocol-level failure; connection closes
+};
+
+/** True for type bytes the current protocol revision defines. */
+bool knownMsgType(std::uint8_t type);
+
+struct Frame
+{
+    MsgType type = MsgType::Error;
+    std::string payload;
+};
+
+/**
+ * Wire bytes for one frame. Panics (server-side bug, not peer
+ * input) when the payload exceeds kMaxFramePayload.
+ */
+std::string encodeFrame(const Frame &frame);
+
+/** Why a FrameDecoder stopped; None while the stream is healthy. */
+enum class DecodeError
+{
+    None,
+    OversizeFrame, //!< declared length above kMaxFramePayload
+    UnknownType,   //!< type byte outside MsgType
+};
+
+/** Human-readable name of a DecodeError ("oversize-frame", ...). */
+const char *decodeErrorName(DecodeError e);
+
+class FrameDecoder
+{
+  public:
+    /** @p max_payload lowers the cap (tests); never raises it. */
+    explicit FrameDecoder(std::size_t max_payload = kMaxFramePayload);
+
+    /** Append raw stream bytes; cheap, never fails. */
+    void feed(const char *data, std::size_t n);
+    void feed(const std::string &bytes)
+    {
+        feed(bytes.data(), bytes.size());
+    }
+
+    enum class Status
+    {
+        NeedMore, //!< no complete frame buffered yet
+        Ready,    //!< @p out holds the next frame
+        Error,    //!< stream stopped; see error()
+    };
+
+    /**
+     * Extract the next complete frame into @p out. Frames decode in
+     * feed order; a stopped decoder reports Error forever.
+     */
+    Status next(Frame &out);
+
+    DecodeError error() const { return error_; }
+
+    /** Bytes buffered but not yet consumed (tests/diagnostics). */
+    std::size_t pendingBytes() const { return buffer_.size() - pos_; }
+
+  private:
+    std::size_t max_payload_;
+    std::string buffer_;
+    std::size_t pos_ = 0; //!< consumed prefix of buffer_
+    DecodeError error_ = DecodeError::None;
+};
+
+// ---- payload record format --------------------------------------------
+
+/** Ordered key=value records; duplicate keys meaningful. */
+using KvPairs =
+    std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * Render records as "key=value\n" lines. Returns an empty string
+ * and sets @p error when a key is empty or contains '=' or '\n', or
+ * a value contains '\n' (the caller is about to put user text on the
+ * wire; a value that cannot round-trip must be rejected, not
+ * mangled). A valid empty record list encodes to "".
+ */
+std::string encodeKv(const KvPairs &records, std::string &error);
+
+/**
+ * Parse "key=value\n" lines. Rejects (false + @p error) a line with
+ * no '=', an empty key, or a payload not ending in '\n' (unless
+ * empty). Order and duplicates preserved.
+ */
+bool decodeKv(const std::string &payload, KvPairs &out,
+              std::string &error);
+
+// ---- typed message bodies ---------------------------------------------
+
+/**
+ * The scenario specification a Submit or Plan frame carries: an
+ * ordered list of entries mirroring how a canonsim command line
+ * builds a request (option applications in order, sweep axes in
+ * declaration order, the architecture set), plus the client identity
+ * and priority the admission queue uses.
+ */
+struct SubmitBody
+{
+    std::string client = "client"; //!< fairness bucket
+    int priority = 0;              //!< higher admits first
+
+    struct Entry
+    {
+        enum class Kind
+        {
+            Opt,   //!< "opt.<key>=<value>": one scenario option
+            Sweep, //!< "sweep.<key>=<values>": one sweep axis
+            Arch,  //!< "arch=<name>": one architecture
+        };
+        Kind kind = Kind::Opt;
+        std::string key;   //!< option/axis key; empty for Arch
+        std::string value; //!< option value, axis list, or arch name
+    };
+    std::vector<Entry> entries;
+
+    SubmitBody &opt(const std::string &key, const std::string &value)
+    {
+        entries.push_back({Entry::Kind::Opt, key, value});
+        return *this;
+    }
+    SubmitBody &sweep(const std::string &key,
+                      const std::string &values)
+    {
+        entries.push_back({Entry::Kind::Sweep, key, values});
+        return *this;
+    }
+    SubmitBody &arch(const std::string &name)
+    {
+        entries.push_back({Entry::Kind::Arch, "", name});
+        return *this;
+    }
+};
+
+/** SubmitBody to payload bytes; empty + @p error on bad text. */
+std::string encodeSubmit(const SubmitBody &body, std::string &error);
+
+/**
+ * Payload bytes to SubmitBody. Strict: unknown record keys, a
+ * malformed priority, or a missing client reject the payload (a
+ * typed protocol error, not a guess).
+ */
+bool decodeSubmit(const std::string &payload, SubmitBody &out,
+                  std::string &error);
+
+/** Why a Submit was refused. */
+enum class RejectReason
+{
+    InvalidRequest, //!< request validation failed; message has why
+    QuotaExceeded,  //!< plan() forecast too many simulation jobs
+    Draining,       //!< daemon is shutting down
+    ProtocolError,  //!< malformed frame/payload on this connection
+};
+
+const char *rejectReasonName(RejectReason r);
+
+/** Parse a reason name back; false for an unknown name. */
+bool rejectReasonFromName(const std::string &name, RejectReason &out);
+
+/**
+ * The Done frame's summary of one finished submission. queueWaitUs
+ * is wall-clock (admission wait) and therefore the one
+ * non-deterministic field: clients must keep it out of any output
+ * they byte-compare.
+ */
+struct DoneBody
+{
+    std::uint64_t jobId = 0;
+    std::uint64_t scenarios = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t cancelled = 0;
+    std::string cacheLine; //!< per-request delta; empty when uncached
+    std::uint64_t queueWaitUs = 0;
+};
+
+std::string encodeDone(const DoneBody &body, std::string &error);
+bool decodeDone(const std::string &payload, DoneBody &out,
+                std::string &error);
+
+} // namespace service
+} // namespace canon
+
+#endif // CANON_SERVICE_PROTOCOL_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The bridge between the wire protocol and the engine: turning a
+ * decoded SubmitBody into a typed engine::ScenarioRequest, and
+ * turning engine results into the text blocks canond streams back.
+ *
+ * Rendering lives on the server so every client of one daemon sees
+ * the same bytes for the same scenario: a Result frame's text is a
+ * pure function of the scenario's simulated outcome and its
+ * expansion index -- no timestamps, job ids, or per-connection state
+ * -- which is what makes N clients submitting the same sweep get
+ * byte-identical result streams (asserted by the service tests and
+ * the CI service gate).
+ */
+
+#ifndef CANON_SERVICE_RENDER_HH
+#define CANON_SERVICE_RENDER_HH
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.hh"
+#include "engine/request.hh"
+#include "runner/pool.hh"
+#include "service/protocol.hh"
+
+namespace canon
+{
+namespace service
+{
+
+/**
+ * Build a ScenarioRequest from a Submit body, applying entries in
+ * wire order through the same grammar the canonsim command line
+ * uses (options via ScenarioRequest::set, sweep axes via sweep(),
+ * the architecture set collected across arch entries -- "all"
+ * expands per the CLI rule). Validation is the caller's: the
+ * returned request carries any application error exactly as the CLI
+ * would report it.
+ */
+engine::ScenarioRequest requestFromSubmit(const SubmitBody &body);
+
+/**
+ * The deterministic text block for one scenario outcome, streamed
+ * as a Result frame's payload after its "index=N" record line:
+ *
+ *     scenario 3: spmm 256x256x64 s=0.50 [sparsity=0.5]
+ *       canon: Cycles=1234 Time(us)=1.234 ...
+ *       zed: ...
+ *
+ * A failed scenario renders its error text instead of arch rows.
+ */
+std::string renderScenarioText(const runner::ScenarioResult &r);
+
+/**
+ * Result frame payload: "index=N\n" + the rendered text (the text
+ * is the last record's value-free remainder; it may span lines, so
+ * it is carried verbatim after a blank separator line).
+ */
+std::string encodeResultFrame(std::size_t index,
+                              const runner::ScenarioResult &r);
+
+/** Split a Result payload back into index + text; false on junk. */
+bool decodeResultFrame(const std::string &payload, std::size_t &index,
+                       std::string &text, std::string &error);
+
+/**
+ * The PlanReply text: one line per scenario (point, cache digest,
+ * forecast) plus the dry-run summary line. Deterministic for a
+ * given store state.
+ */
+std::string renderPlanText(
+    const std::vector<engine::ScenarioPlan> &plans, bool cached);
+
+} // namespace service
+} // namespace canon
+
+#endif // CANON_SERVICE_RENDER_HH

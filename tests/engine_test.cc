@@ -508,6 +508,100 @@ TEST(Engine, WarmRerunExecutesZeroSimulationJobs)
     EXPECT_EQ(render(first), render(second));
 }
 
+TEST(Engine, SharedEngineReportsPerRequestCacheDeltas)
+{
+    // One long-lived engine (the canond model) serving sequential
+    // requests: each ResultSet's cache line must be that request's
+    // own delta, not the engine's accumulated totals -- the second
+    // run below would otherwise report the first run's misses and
+    // stores as its own.
+    const std::string dir = scratchDir("engine_delta") + "cache";
+    ScenarioRequest req;
+    req.workload(cli::Workload::Spmm)
+        .shape(64, 64, 16)
+        .sweep("sparsity", "0.3,0.5,0.7");
+
+    Engine shared(EngineConfig{.jobs = 2, .cacheDir = dir});
+    ResultSet first = shared.run(req);
+    ASSERT_TRUE(first.ok()) << first.error();
+    EXPECT_NE(first.cacheStatsLine().find(
+                  "0 hits, 3 misses, 3 stored; simulation jobs"
+                  " executed: 3"),
+              std::string::npos)
+        << first.cacheStatsLine();
+
+    ResultSet second = shared.run(req);
+    ASSERT_TRUE(second.ok()) << second.error();
+    EXPECT_NE(second.cacheStatsLine().find(
+                  "3 hits, 0 misses, 0 stored; simulation jobs"
+                  " executed: 0"),
+              std::string::npos)
+        << second.cacheStatsLine();
+
+    // The engine-lifetime totals still accumulate across both runs.
+    EXPECT_NE(shared.cacheStatsLine().find("3 hits, 3 misses"),
+              std::string::npos)
+        << shared.cacheStatsLine();
+}
+
+TEST(Engine, CancelTokenSkipsRemainingScenarios)
+{
+    // jobs=1 runs the expansion inline in index order, so a token
+    // cancelled from the first scenario's callback deterministically
+    // skips the remaining four.
+    ScenarioRequest req;
+    req.workload(cli::Workload::Spmm)
+        .shape(64, 64, 16)
+        .sweep("sparsity", "0.1,0.3,0.5,0.7,0.9");
+
+    Engine eng(EngineConfig{.jobs = 1});
+    runner::CancelToken token;
+    std::size_t streamed = 0;
+    ResultSet rs = eng.run(
+        req,
+        [&](const runner::ScenarioResult &) {
+            ++streamed;
+            token.cancel();
+        },
+        &token);
+    ASSERT_TRUE(rs.ok()) << rs.error();
+    ASSERT_EQ(rs.size(), 5u);
+    EXPECT_EQ(streamed, 5u); // cancelled results still stream
+    EXPECT_EQ(rs.cancelledCount(), 4u);
+    EXPECT_EQ(rs.failureCount(), 4u);
+    EXPECT_TRUE(rs.scenarios()[0].error.empty());
+    for (std::size_t i = 1; i < rs.size(); ++i) {
+        EXPECT_TRUE(rs.scenarios()[i].cancelled()) << i;
+        EXPECT_EQ(rs.scenarios()[i].error, runner::kCancelledError);
+    }
+}
+
+TEST(Engine, CancelledScenariosNeverTouchTheCache)
+{
+    // A cancelled job must not probe, count, or store: the cache
+    // line for the run reports only the one scenario that executed.
+    const std::string dir = scratchDir("engine_cancel_cache")
+                            + "cache";
+    ScenarioRequest req;
+    req.workload(cli::Workload::Spmm)
+        .shape(64, 64, 16)
+        .sweep("sparsity", "0.2,0.4,0.6");
+
+    Engine eng(EngineConfig{.jobs = 1, .cacheDir = dir});
+    runner::CancelToken token;
+    ResultSet rs = eng.run(
+        req,
+        [&](const runner::ScenarioResult &) { token.cancel(); },
+        &token);
+    ASSERT_TRUE(rs.ok()) << rs.error();
+    EXPECT_EQ(rs.cancelledCount(), 2u);
+    EXPECT_NE(rs.cacheStatsLine().find(
+                  "0 hits, 1 misses, 1 stored; simulation jobs"
+                  " executed: 1"),
+              std::string::npos)
+        << rs.cacheStatsLine();
+}
+
 TEST(Engine, PlanForecastsTheCache)
 {
     const std::string dir = scratchDir("engine_plan") + "cache";

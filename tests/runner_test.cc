@@ -327,6 +327,51 @@ TEST(ScenarioPool, CapturesExceptionsAndEmptyResults)
     EXPECT_EQ(results[2].cases.at("canon").cycles, 1u);
 }
 
+TEST(ScenarioPool, CancelTokenLandsTypedFailuresAtTheirIndex)
+{
+    SweepSpec spec;
+    ASSERT_EQ(spec.addAxis("m", "8,16,24,32"), "");
+    auto jobs = spec.expand(smallSpmm());
+
+    // One worker runs the jobs inline in index order; cancelling
+    // from the first callback deterministically skips the rest.
+    CancelToken token;
+    std::atomic<int> executed{0};
+    auto results = ScenarioPool(1).run(
+        jobs,
+        [&](const cli::Options &) -> CaseResult {
+            ++executed;
+            CaseResult r;
+            r["canon"] = ExecutionProfile{};
+            r["canon"].cycles = 1;
+            return r;
+        },
+        nullptr,
+        [&](const ScenarioResult &) { token.cancel(); }, &token);
+
+    EXPECT_EQ(executed.load(), 1);
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_EQ(results[0].error, "");
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].error, std::string(kCancelledError));
+        EXPECT_TRUE(results[i].cancelled()) << i;
+        EXPECT_FALSE(results[i].cacheHit);
+        EXPECT_FALSE(results[i].cacheStored);
+    }
+
+    // A token cancelled before the run skips everything.
+    auto skipped = ScenarioPool(4).run(
+        jobs,
+        [&](const cli::Options &) -> CaseResult {
+            ++executed;
+            return {};
+        },
+        nullptr, nullptr, &token);
+    EXPECT_EQ(executed.load(), 1);
+    for (const auto &r : skipped)
+        EXPECT_TRUE(r.cancelled());
+}
+
 TEST(ScenarioPool, RealSweepIsDeterministicAcrossWorkerCounts)
 {
     SweepSpec spec;
